@@ -1,0 +1,57 @@
+//! Monte-Carlo acquisition scoring — the inner loop of Algorithm 2's
+//! candidate scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eva_bo::{AcqKind, GpSurrogate, SurrogateSampler};
+use eva_gp::{GpModel, Kernel, KernelType};
+use eva_linalg::Mat;
+use eva_stats::rng::seeded;
+use rand::Rng;
+
+fn samples(n_mc: usize, q: usize, seed: u64) -> Mat {
+    let mut rng = seeded(seed);
+    Mat::from_fn(n_mc, q, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acq_score");
+    for n_mc in [64usize, 256] {
+        let cand = samples(n_mc, 4, 1);
+        let base = samples(n_mc, 24, 2);
+        group.bench_with_input(BenchmarkId::new("qNEI", n_mc), &n_mc, |bench, _| {
+            bench.iter(|| AcqKind::QNei.score(&cand, Some(&base), None))
+        });
+        group.bench_with_input(BenchmarkId::new("qEI", n_mc), &n_mc, |bench, _| {
+            bench.iter(|| AcqKind::QEi.score(&cand, None, Some(0.3)))
+        });
+        group.bench_with_input(BenchmarkId::new("qUCB", n_mc), &n_mc, |bench, _| {
+            bench.iter(|| AcqKind::QUcb { beta: 2.0 }.score(&cand, None, None))
+        });
+        group.bench_with_input(BenchmarkId::new("qSR", n_mc), &n_mc, |bench, _| {
+            bench.iter(|| AcqKind::QSr.score(&cand, None, None))
+        });
+    }
+    group.finish();
+}
+
+fn bench_surrogate_sampling(c: &mut Criterion) {
+    // End-to-end candidate evaluation: joint posterior + qNEI score.
+    let mut rng = seeded(5);
+    let xs = eva_stats::design::latin_hypercube(&mut rng, 40, 2);
+    let ys: Vec<f64> = xs.iter().map(|p| (p[0] - 0.4).hypot(p[1] - 0.6)).collect();
+    let kernel = Kernel::isotropic(KernelType::Matern52, 2, 0.3, 1.0);
+    let surrogate = GpSurrogate::new(GpModel::new(kernel, 1e-4, xs.clone(), ys).unwrap());
+    let mut query: Vec<Vec<f64>> = vec![vec![0.5, 0.5]];
+    query.extend(xs.iter().take(24).cloned());
+    c.bench_function("surrogate_qnei_one_candidate", |bench| {
+        bench.iter(|| {
+            let s = surrogate.joint_samples(&query, 64, 3);
+            let cand = Mat::from_fn(64, 1, |r, _| s[(r, 0)]);
+            let base = Mat::from_fn(64, 24, |r, c| s[(r, c + 1)]);
+            AcqKind::QNei.score(&cand, Some(&base), None)
+        })
+    });
+}
+
+criterion_group!(benches, bench_scoring, bench_surrogate_sampling);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Dense factorization kernels behind every GP fit/predict
+//! (the computational core of Figs. 6-10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eva_linalg::{Cholesky, Lu, Mat};
+use rand::Rng;
+
+fn spd(n: usize, seed: u64) -> Mat {
+    let mut rng = eva_stats::rng::seeded(seed);
+    let b = Mat::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+    let mut a = b.matmul(&b.transpose()).unwrap();
+    a.add_diag(n as f64 * 0.1);
+    a
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky");
+    for n in [50usize, 100, 200, 400] {
+        let a = spd(n, 1);
+        group.bench_with_input(BenchmarkId::new("decompose", n), &a, |bench, a| {
+            bench.iter(|| Cholesky::decompose(std::hint::black_box(a)).unwrap())
+        });
+        let ch = Cholesky::decompose(&a).unwrap();
+        let rhs: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("solve", n), &rhs, |bench, rhs| {
+            bench.iter(|| ch.solve(std::hint::black_box(rhs)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu");
+    for n in [50usize, 100, 200] {
+        let a = spd(n, 2);
+        group.bench_with_input(BenchmarkId::new("decompose", n), &a, |bench, a| {
+            bench.iter(|| Lu::decompose(std::hint::black_box(a)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    for n in [64usize, 128, 256] {
+        let a = spd(n, 3);
+        let b = spd(n, 4);
+        group.bench_with_input(BenchmarkId::new("square", n), &n, |bench, _| {
+            bench.iter(|| a.matmul(std::hint::black_box(&b)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cholesky, bench_lu, bench_matmul);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! GP regression: fit, predict and joint posterior sampling — the per-
+//! iteration cost of the outcome-model bank (Fig. 8's training loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eva_gp::{fit_gp, FitConfig, GpModel, Kernel, KernelType};
+use eva_stats::rng::seeded;
+
+fn training_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = seeded(7);
+    let xs = eva_stats::design::latin_hypercube(&mut rng, n, 3);
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|p| (4.0 * p[0]).sin() * p[1] + p[2] * p[2])
+        .collect();
+    (xs, ys)
+}
+
+fn model(n: usize) -> GpModel {
+    let (xs, ys) = training_data(n);
+    let kernel = Kernel::isotropic(KernelType::Matern52, 3, 0.4, 1.0);
+    GpModel::new(kernel, 1e-4, xs, ys).unwrap()
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_fit");
+    group.sample_size(10);
+    for n in [50usize, 100, 200] {
+        let (xs, ys) = training_data(n);
+        group.bench_with_input(BenchmarkId::new("hyperopt", n), &n, |bench, _| {
+            let cfg = FitConfig {
+                restarts: 1,
+                max_evals: 60,
+                ..Default::default()
+            };
+            bench.iter(|| fit_gp(&xs, &ys, &cfg, &mut seeded(1)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_predict");
+    for n in [100usize, 400] {
+        let m = model(n);
+        group.bench_with_input(BenchmarkId::new("single_point", n), &n, |bench, _| {
+            bench.iter(|| m.predict(std::hint::black_box(&[0.3, 0.5, 0.7])))
+        });
+    }
+    group.finish();
+}
+
+fn bench_posterior_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_posterior");
+    group.sample_size(20);
+    let m = model(150);
+    let mut rng = seeded(9);
+    for q in [8usize, 32] {
+        let query = eva_stats::design::latin_hypercube(&mut rng, q, 3);
+        group.bench_with_input(BenchmarkId::new("joint_sample_64", q), &query, |bench, query| {
+            bench.iter(|| {
+                let post = m.posterior(query).unwrap();
+                post.sample(&mut seeded(3), 64).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_predict, bench_posterior_sampling);
+criterion_main!(benches);

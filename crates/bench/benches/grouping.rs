@@ -1,0 +1,51 @@
+//! Algorithm 1 (group-based zero-jitter scheduling) end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eva_sched::{assign_groups_to_servers, group_streams, split_high_rate, StreamId, StreamTiming};
+use rand::Rng;
+
+fn streams(m: usize, seed: u64) -> Vec<StreamTiming> {
+    let mut rng = eva_stats::rng::seeded(seed);
+    (0..m)
+        .map(|i| {
+            let mult = rng.gen_range(1u64..=12);
+            let period = mult * 50_000;
+            let proc = rng.gen_range(5_000..=40_000).min(period);
+            StreamTiming::new(StreamId::source(i), period, proc)
+        })
+        .collect()
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1");
+    for m in [10usize, 50, 200] {
+        let set = streams(m, m as u64);
+        group.bench_with_input(BenchmarkId::new("group_streams", m), &set, |bench, set| {
+            bench.iter(|| group_streams(std::hint::black_box(set), set.len()).unwrap())
+        });
+        let bits: Vec<f64> = (0..m).map(|i| 1e5 * (1 + i % 7) as f64).collect();
+        let uplinks: Vec<f64> = (0..m).map(|j| 5e6 * (1 + j % 6) as f64).collect();
+        group.bench_with_input(
+            BenchmarkId::new("full_assignment", m),
+            &set,
+            |bench, set| {
+                bench.iter(|| {
+                    assign_groups_to_servers(std::hint::black_box(set), &bits, &uplinks).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_split(c: &mut Criterion) {
+    let set: Vec<StreamTiming> = (0..100)
+        .map(|i| StreamTiming::new(StreamId::source(i), 33_333, 120_000))
+        .collect();
+    c.bench_function("split_high_rate_100", |bench| {
+        bench.iter(|| split_high_rate(std::hint::black_box(&set)))
+    });
+}
+
+criterion_group!(benches, bench_grouping, bench_split);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Hungarian assignment — Algorithm 1 line 20's inner solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eva_sched::hungarian_min_cost;
+use rand::Rng;
+
+fn cost_matrix(n: usize, m: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = eva_stats::rng::seeded(seed);
+    (0..n)
+        .map(|_| (0..m).map(|_| rng.gen_range(0.0..100.0)).collect())
+        .collect()
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    for n in [10usize, 50, 100, 200] {
+        let cost = cost_matrix(n, n, n as u64);
+        group.bench_with_input(BenchmarkId::new("square", n), &cost, |bench, cost| {
+            bench.iter(|| hungarian_min_cost(std::hint::black_box(cost)))
+        });
+    }
+    // The paper's actual shape: few groups onto slightly more servers.
+    let cost = cost_matrix(8, 12, 99);
+    group.bench_function("groups_8_servers_12", |bench| {
+        bench.iter(|| hungarian_min_cost(std::hint::black_box(&cost)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hungarian);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Discrete-event simulator throughput — the latency-measurement
+//! substrate behind every baseline evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eva_sched::{StreamId, TICKS_PER_SEC};
+use eva_sim::des::{simulate, SimConfig, SimStream};
+
+fn fleet(n_streams: usize, n_servers: usize) -> Vec<SimStream> {
+    (0..n_streams)
+        .map(|i| SimStream {
+            id: StreamId::source(i),
+            period: 50_000 * (1 + (i % 4) as u64),
+            proc: 10_000 + 2_000 * (i % 5) as u64,
+            trans: 3_000,
+            server: i % n_servers,
+            phase: (i as u64) * 7_000,
+        })
+        .collect()
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des");
+    group.sample_size(20);
+    for (n_streams, n_servers) in [(8usize, 5usize), (40, 10), (200, 50)] {
+        let streams = fleet(n_streams, n_servers);
+        let cfg = SimConfig {
+            horizon: 30 * TICKS_PER_SEC,
+            warmup: TICKS_PER_SEC,
+            deadline: 0,
+        };
+        // Rough frame count for throughput accounting.
+        let frames: u64 = streams
+            .iter()
+            .map(|s| 30 * TICKS_PER_SEC / s.period)
+            .sum();
+        group.throughput(Throughput::Elements(frames));
+        group.bench_with_input(
+            BenchmarkId::new("30s_horizon", format!("{n_streams}x{n_servers}")),
+            &streams,
+            |bench, streams| {
+                bench.iter(|| simulate(std::hint::black_box(streams), n_servers, &cfg))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulate);
+criterion_main!(benches);

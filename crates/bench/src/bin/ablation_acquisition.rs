@@ -1,0 +1,99 @@
+//! Acquisition-function ablation (the Sec. 5.1 `PaMO_{qUCB/qSR/qEI}`
+//! variants): final benefit and convergence behaviour of qNEI vs the
+//! alternatives on the n5v8 configuration.
+//!
+//! ```text
+//! cargo run --release -p eva-bench --bin ablation_acquisition [--quick]
+//! ```
+
+use eva_bench::{harness::pamo_with_acquisition, Table};
+use eva_bo::AcqKind;
+use eva_stats::rng::child_seed;
+use eva_workload::Scenario;
+use pamo_core::{PamoConfig, TruePreference};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scenario = Scenario::uniform(8, 5, 20e6, 71);
+    let pref = TruePreference::uniform(&scenario);
+    // Isolate the acquisition: oracle preference, large pool, no early
+    // stopping, noisy observations, few initial points — the regime
+    // where acquisition quality actually matters.
+    let mut base = PamoConfig::default().plus();
+    base.pool_size = 150;
+    base.bo.n_init = 3;
+    base.bo.batch = 2;
+    base.bo.max_iters = 8;
+    base.bo.delta = 0.0;
+    base.profile_noise = 0.10;
+    base.profiling_per_camera = 10; // scarce profiling: uncertain models
+    if quick {
+        base.bo.max_iters = 4;
+        base.bo.mc_samples = 16;
+        base.pool_size = 50;
+    }
+    let reps = if quick { 1 } else { 5 };
+
+    let kinds: Vec<(&str, AcqKind)> = vec![
+        ("qNEI", AcqKind::QNei),
+        ("qEI", AcqKind::QEi),
+        ("qUCB(b=2)", AcqKind::QUcb { beta: 2.0 }),
+        ("qSR", AcqKind::QSr),
+    ];
+
+    let mut table = Table::new(vec![
+        "acquisition",
+        "benefit_mean",
+        "iters_to_best",
+        "trace(best-so-far observed z)",
+    ]);
+    let mut results = Vec::new();
+    for (name, kind) in kinds {
+        let mut benefit_sum = 0.0;
+        let mut iters_sum = 0usize;
+        let mut last_trace = Vec::new();
+        for rep in 0..reps {
+            let (benefit, trace) = pamo_with_acquisition(
+                &scenario,
+                &pref,
+                &base,
+                kind,
+                child_seed(909, rep as u64),
+            );
+            benefit_sum += benefit;
+            // First index achieving the final best (trace is monotone).
+            let best = trace.last().copied().unwrap_or(f64::NEG_INFINITY);
+            iters_sum += trace.iter().position(|&v| v >= best - 1e-12).unwrap_or(0);
+            last_trace = trace;
+        }
+        let trace_str = last_trace
+            .iter()
+            .map(|v| format!("{v:.3}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        table.row(vec![
+            name.to_string(),
+            format!("{:.4}", benefit_sum / reps as f64),
+            format!("{:.1}", iters_sum as f64 / reps as f64),
+            trace_str.clone(),
+        ]);
+        results.push(serde_json::json!({
+            "acquisition": name,
+            "benefit_mean": benefit_sum / reps as f64,
+            "trace": last_trace,
+        }));
+    }
+
+    println!("== Acquisition ablation (PaMO+ backbone, n5v8) ==");
+    println!("{table}");
+    println!("Paper claim (Sec. 4.3): qNEI tolerates model noise and converges");
+    println!("in fewer iterations than the alternatives.");
+
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(
+        "results/ablation_acquisition.json",
+        serde_json::to_string_pretty(&results).unwrap(),
+    )
+    .expect("write results/ablation_acquisition.json");
+    println!("(wrote results/ablation_acquisition.json)");
+}

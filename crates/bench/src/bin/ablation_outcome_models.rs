@@ -1,0 +1,132 @@
+//! Outcome-model ablation: GPs vs the "traditional" polynomial
+//! regression (Sec. 1's description of prior EVA schedulers).
+//!
+//! Both model families fit the same noisy profiling samples and are
+//! scored by R² against the ground-truth surfaces on held-out configs —
+//! the Fig. 8 protocol applied to the modeling *choice* instead of the
+//! training size. Degree-2 polynomials are the paper-faithful contender
+//! (Eq. 2-5's θ/ε terms are linear/quadratic); the accuracy surface is
+//! where they break (it saturates, Fig. 2).
+//!
+//! ```text
+//! cargo run --release -p eva-bench --bin ablation_outcome_models [--quick]
+//! ```
+
+use eva_bench::Table;
+use eva_gp::{fit_gp, FitConfig, PolyModel};
+use eva_stats::metrics::r_squared;
+use eva_stats::rng::{child_seed, seeded};
+use eva_workload::{
+    mot16_library, ConfigSpace, Profiler, SurfaceModel, N_OBJECTIVES, OBJECTIVE_NAMES,
+};
+use rand::Rng;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let train_sizes: Vec<usize> = if quick { vec![60] } else { vec![30, 60, 120, 240] };
+    let reps = if quick { 3 } else { 8 };
+    let n_test = 25;
+    let uplink = 20e6;
+
+    let clip = mot16_library().remove(0);
+    let profiler = Profiler::new(SurfaceModel::new(clip));
+    let space = ConfigSpace::default();
+
+    let mut table = Table::new(vec![
+        "train_size",
+        "objective",
+        "GP_R2",
+        "poly2_R2",
+        "poly3_R2",
+    ]);
+    let mut results = Vec::new();
+
+    for &n in &train_sizes {
+        for obj in 0..N_OBJECTIVES {
+            let mut r2 = [0.0f64; 3]; // gp, poly2, poly3
+            for rep in 0..reps {
+                let mut rng = seeded(child_seed(616, (n * 100 + obj * 10 + rep) as u64));
+                let train = profiler.measure_random(&space, uplink, n, &mut rng);
+                let xs: Vec<Vec<f64>> = train.iter().map(|s| s.features()).collect();
+                let ys: Vec<f64> = train.iter().map(|s| s.outcome.to_vec()[obj]).collect();
+
+                let test_cfgs: Vec<_> = (0..n_test)
+                    .map(|_| space.at(rng.gen_range(0..space.len())))
+                    .collect();
+                let truth: Vec<f64> = test_cfgs
+                    .iter()
+                    .map(|c| truth_value(&profiler, c, uplink, obj))
+                    .collect();
+
+                let cfg = FitConfig {
+                    restarts: 1,
+                    max_evals: 80,
+                    ..Default::default()
+                };
+                let gp = fit_gp(&xs, &ys, &cfg, &mut rng).expect("GP fit");
+                let gp_pred: Vec<f64> = test_cfgs
+                    .iter()
+                    .map(|c| gp.predict_mean(&eva_workload::profiler::features_of(c, uplink)))
+                    .collect();
+                r2[0] += r_squared(&truth, &gp_pred);
+
+                for (slot, degree) in [(1usize, 2usize), (2, 3)] {
+                    let poly = PolyModel::fit(&xs, &ys, degree).expect("poly fit");
+                    let pred: Vec<f64> = test_cfgs
+                        .iter()
+                        .map(|c| poly.predict(&eva_workload::profiler::features_of(c, uplink)))
+                        .collect();
+                    r2[slot] += r_squared(&truth, &pred);
+                }
+            }
+            for v in &mut r2 {
+                *v /= reps as f64;
+            }
+            table.row(vec![
+                format!("{n}"),
+                OBJECTIVE_NAMES[obj].to_string(),
+                format!("{:.4}", r2[0]),
+                format!("{:.4}", r2[1]),
+                format!("{:.4}", r2[2]),
+            ]);
+            results.push(serde_json::json!({
+                "train_size": n, "objective": OBJECTIVE_NAMES[obj],
+                "gp_r2": r2[0], "poly2_r2": r2[1], "poly3_r2": r2[2],
+            }));
+        }
+    }
+
+    println!("== Outcome-model ablation: GP vs polynomial regression ==");
+    println!("{table}");
+    println!(
+        "Reading: quadratic/cubic polynomials match GPs on the resource\n\
+         surfaces (they *are* quadratic — Eq. 3-5), but trail on accuracy,\n\
+         whose saturating shape (Fig. 2) a fixed-degree polynomial cannot\n\
+         follow — the paper's motivation for going nonparametric."
+    );
+
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(
+        "results/ablation_outcome_models.json",
+        serde_json::to_string_pretty(&results).unwrap(),
+    )
+    .expect("write results/ablation_outcome_models.json");
+    println!("(wrote results/ablation_outcome_models.json)");
+}
+
+fn truth_value(
+    profiler: &Profiler,
+    c: &eva_workload::VideoConfig,
+    uplink: f64,
+    obj: usize,
+) -> f64 {
+    let s = profiler.surfaces();
+    match obj {
+        0 => s.e2e_latency_secs(c, uplink),
+        1 => s.accuracy(c),
+        2 => s.bandwidth_bps(c),
+        3 => s.compute_tflops(c),
+        4 => s.power_w(c),
+        _ => unreachable!("objective index"),
+    }
+}

@@ -1,0 +1,84 @@
+//! Extension experiment: online re-optimization under content drift.
+//!
+//! Runs the deployed-loop view of Sec. 2.1 (periodic re-scheduling)
+//! over a drifting workload and quantifies the value of adaptation
+//! against the frozen epoch-0 decision.
+//!
+//! ```text
+//! cargo run --release -p eva-bench --bin ext_online_drift [--quick]
+//! ```
+
+use eva_bench::Table;
+use eva_stats::rng::seeded;
+use eva_workload::{DriftingScenario, Scenario};
+use pamo_core::{run_online, PamoConfig, PreferenceSource};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n_epochs = if quick { 4 } else { 10 };
+    let mut cfg = PamoConfig {
+        preference: PreferenceSource::Oracle, // isolate adaptation
+        ..Default::default()
+    };
+    if quick {
+        cfg.bo.max_iters = 3;
+        cfg.pool_size = 20;
+        cfg.profiling_per_camera = 20;
+    } else {
+        cfg.bo.max_iters = 5;
+        cfg.pool_size = 30;
+        cfg.profiling_per_camera = 25;
+    }
+
+    let mut table = Table::new(vec![
+        "drift_step",
+        "mean_online_U",
+        "mean_static_U",
+        "adaptation_gain",
+        "static_infeasible_epochs",
+    ]);
+    let mut results = Vec::new();
+
+    for &step in &[0.0, 0.05, 0.10, 0.20] {
+        let base = Scenario::uniform(5, 3, 20e6, 99);
+        let mut drifting = DriftingScenario::new(&base, step);
+        let run = run_online(&mut drifting, &cfg, [1.0; 5], n_epochs, &mut seeded(17));
+        let online = run.mean_online_benefit();
+        let fixed = run.mean_static_benefit();
+        let infeasible = run
+            .epochs
+            .iter()
+            .filter(|e| e.static_benefit.is_none())
+            .count();
+        table.row(vec![
+            format!("{step}"),
+            format!("{online:.4}"),
+            format!("{fixed:.4}"),
+            format!("{:+.4}", online - fixed),
+            format!("{infeasible}/{n_epochs}"),
+        ]);
+        results.push(serde_json::json!({
+            "drift_step": step,
+            "mean_online_benefit": online,
+            "mean_static_benefit": fixed,
+            "static_infeasible_epochs": infeasible,
+        }));
+    }
+
+    println!("== Extension: online adaptation vs frozen decision under drift ==");
+    println!("{table}");
+    println!(
+        "Reading: with no drift, re-optimizing buys nothing (gain ≈ 0);\n\
+         as content drifts, the frozen decision first loses benefit and then\n\
+         loses *feasibility* (its zero-jitter placement breaks when per-frame\n\
+         processing times grow) — periodic re-scheduling is not optional."
+    );
+
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(
+        "results/ext_online_drift.json",
+        serde_json::to_string_pretty(&results).unwrap(),
+    )
+    .expect("write results/ext_online_drift.json");
+    println!("(wrote results/ext_online_drift.json)");
+}

@@ -1,0 +1,62 @@
+//! Figure 2: performance and resource consumption of two MOT16 clips
+//! under different (resolution, frame rate) configurations.
+//!
+//! Prints the five outcome surfaces (mAP, e2e latency, bandwidth,
+//! computation, power) on the knob grid for two clips, with the network
+//! fixed at 100 Mbps as in the paper. Run:
+//!
+//! ```text
+//! cargo run --release -p eva-bench --bin fig2_profiling
+//! ```
+
+use eva_bench::Table;
+use eva_workload::{mot16_library, ConfigSpace, SurfaceModel, VideoConfig};
+
+fn main() {
+    let uplink = 100e6; // "network bandwidth remained constant at 100 Mbps"
+    let space = ConfigSpace::default();
+    let clips = mot16_library();
+    // Two clips, as in the paper's figure.
+    for clip in clips.into_iter().take(2) {
+        let name = clip.name.clone();
+        let model = SurfaceModel::new(clip);
+        println!("== Figure 2 surfaces — clip {name} (uplink 100 Mbps) ==");
+        let mut table = Table::new(vec![
+            "resolution",
+            "fps",
+            "mAP",
+            "e2e_latency_s",
+            "bandwidth_Mbps",
+            "computation_TFLOPs",
+            "power_W",
+        ]);
+        for &r in space.resolutions() {
+            for &s in space.frame_rates() {
+                let c = VideoConfig::new(r, s);
+                table.row(vec![
+                    format!("{r:.0}"),
+                    format!("{s:.0}"),
+                    format!("{:.4}", model.accuracy(&c)),
+                    format!("{:.4}", model.e2e_latency_secs(&c, uplink)),
+                    format!("{:.3}", model.bandwidth_bps(&c) / 1e6),
+                    format!("{:.3}", model.compute_tflops(&c)),
+                    format!("{:.2}", model.power_w(&c)),
+                ]);
+            }
+        }
+        println!("{table}");
+    }
+    println!("Shape checks (paper Sec. 2.2):");
+    let model = SurfaceModel::new(eva_workload::ClipProfile::reference());
+    let lat_lo = model.e2e_latency_secs(&VideoConfig::new(2000.0, 1.0), uplink);
+    let lat_hi = model.e2e_latency_secs(&VideoConfig::new(2000.0, 30.0), uplink);
+    println!("  latency independent of fps when uncontended: {lat_lo:.4} s vs {lat_hi:.4} s");
+    println!(
+        "  bandwidth @ (2000, 30): {:.1} Mbps (paper ≈ 15)",
+        model.bandwidth_bps(&VideoConfig::new(2000.0, 30.0)) / 1e6
+    );
+    println!(
+        "  computation @ (2000, 30): {:.1} TFLOPs (paper ≈ 40)",
+        model.compute_tflops(&VideoConfig::new(2000.0, 30.0))
+    );
+}

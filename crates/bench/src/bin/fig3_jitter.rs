@@ -1,0 +1,111 @@
+//! Figure 3(a) / Figure 4: latency accumulation under resource
+//! contention, and delay jitter from poor scheduling vs. the zero-jitter
+//! schedule of Theorem 1.
+//!
+//! ```text
+//! cargo run --release -p eva-bench --bin fig3_jitter
+//! ```
+
+use eva_bench::Table;
+use eva_sched::{StreamId, Ticks, TICKS_PER_SEC};
+use eva_sim::des::{simulate, SimConfig, SimStream};
+
+fn stream(source: usize, period_ms: u64, proc_ms: u64, phase_ms: u64) -> SimStream {
+    SimStream {
+        id: StreamId::source(source),
+        period: period_ms * 1000,
+        proc: proc_ms * 1000,
+        trans: 0,
+        server: 0,
+        phase: phase_ms * 1000,
+    }
+}
+
+fn run(streams: &[SimStream], label: &str, table: &mut Table) {
+    let cfg = SimConfig {
+        horizon: 12 * TICKS_PER_SEC,
+        warmup: TICKS_PER_SEC,
+        deadline: 0,
+    };
+    let report = simulate(streams, 1, &cfg);
+    for s in &report.streams {
+        table.row(vec![
+            label.to_string(),
+            s.id.to_string(),
+            format!("{:.4}", s.latency.mean()),
+            format!("{:.4}", s.latency.max()),
+            format!("{:.4}", s.jitter_s),
+            format!("{}", s.frames),
+        ]);
+    }
+}
+
+fn main() {
+    println!("== Figure 3(a): latency accumulation under contention ==");
+    println!("Video 2 of the paper: frame period 100 ms, processing 150 ms (s·p = 1.5)");
+    let mut t = Table::new(vec![
+        "scenario",
+        "stream",
+        "mean_latency_s",
+        "max_latency_s",
+        "jitter_s",
+        "frames",
+    ]);
+    // The overloaded high-rate stream: queue grows without bound.
+    run(&[stream(0, 100, 150, 0)], "overloaded", &mut t);
+    // The paper's fix: split into ceil(1.5) = 2 substreams of period
+    // 200 ms each — but both on one server still exceed the gcd budget,
+    // so each substream must go to its own server; here we show one
+    // substream alone, which is contention-free.
+    run(&[stream(0, 200, 150, 0)], "split-substream", &mut t);
+    println!("{t}");
+
+    println!("== Figure 4: delay jitter from poor phasing vs Theorem-1 offsets ==");
+    println!("Streams: A (T=100 ms, p=30 ms), B (T=200 ms, p=50 ms); Const2 holds (80 ≤ 100).");
+    let mut t2 = Table::new(vec![
+        "scenario",
+        "stream",
+        "mean_latency_s",
+        "max_latency_s",
+        "jitter_s",
+        "frames",
+    ]);
+    // Naive phasing: B starts at 90 ms, so B's processing window
+    // [90, 140] swallows every *other* frame of A (arrivals at 100,
+    // 300, ...) while the frames in between pass untouched — exactly
+    // the intermittent postponement of Fig. 4.
+    run(
+        &[stream(0, 100, 30, 0), stream(1, 200, 50, 90)],
+        "naive-phase",
+        &mut t2,
+    );
+    // Theorem-1 offsets: o(A) = 0, o(B) = p_A = 30 ms. Zero jitter.
+    run(
+        &[stream(0, 100, 30, 0), stream(1, 200, 50, 30)],
+        "zero-jitter",
+        &mut t2,
+    );
+    println!("{t2}");
+
+    println!("== Const2 violation despite Const1 (gcd matters, not just load) ==");
+    println!("Streams: T=100 & 150 ms (gcd 50), p=40 ms each; util 0.67 < 1 but Σp > gcd.");
+    let mut t3 = Table::new(vec![
+        "scenario",
+        "stream",
+        "mean_latency_s",
+        "max_latency_s",
+        "jitter_s",
+        "frames",
+    ]);
+    run(
+        &[stream(0, 100, 40, 0), stream(1, 150, 40, 40)],
+        "const2-violated",
+        &mut t3,
+    );
+    println!("{t3}");
+    let ticks_to_ms = |t: Ticks| t as f64 / 1000.0;
+    println!(
+        "(All times printed in seconds; tick resolution {} µs.)",
+        ticks_to_ms(1) * 1000.0
+    );
+}

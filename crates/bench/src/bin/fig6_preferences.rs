@@ -1,0 +1,133 @@
+//! Figure 6: normalized benefit across preference functions.
+//!
+//! Each of the five objective weights sweeps {0.2, 0.4, 1.6, 3.2} with
+//! the rest pinned to 1; JCAB/FACT receive the corresponding weights in
+//! their own objectives; PaMO learns the preference from comparisons;
+//! PaMO+ uses the truth. 8 videos, 5 servers, 3 repetitions.
+//!
+//! ```text
+//! cargo run --release -p eva-bench --bin fig6_preferences [--quick]
+//! ```
+
+use eva_bench::{run_all_methods, ExperimentSetting, Table};
+use eva_workload::{N_OBJECTIVES, OBJECTIVE_NAMES};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let weight_values = [0.2, 0.4, 1.6, 3.2];
+
+    let mut table = Table::new(vec![
+        "objective",
+        "weight",
+        "JCAB",
+        "FACT",
+        "PaMO",
+        "PaMO+",
+        "PaMO_gap_to_plus",
+        "PaMO_vs_JCAB",
+        "PaMO_vs_FACT",
+    ]);
+    let mut ratio_table = Table::new(vec![
+        "objective", "weight", "method", "latency", "accuracy", "network", "computation",
+        "energy",
+    ]);
+    let mut results = Vec::new();
+    let mut gaps: Vec<f64> = Vec::new();
+    let mut vs_jcab: Vec<f64> = Vec::new();
+    let mut vs_fact: Vec<f64> = Vec::new();
+
+    for obj in 0..N_OBJECTIVES {
+        for &w in &weight_values {
+            let mut weights = [1.0; N_OBJECTIVES];
+            weights[obj] = w;
+            let mut setting = ExperimentSetting::fig6(weights);
+            if quick {
+                setting = setting.quick();
+                setting.n_videos = 5;
+                setting.n_servers = 4;
+            }
+            let scores = run_all_methods(&setting);
+            let by = |name: &str| scores.iter().find(|s| s.name == name).unwrap();
+            let (jcab, fact, pamo, plus) =
+                (by("JCAB"), by("FACT"), by("PaMO"), by("PaMO+"));
+            let gap = (plus.normalized - pamo.normalized) / plus.normalized.max(1e-9);
+            let improve = |base: f64| {
+                if base.abs() < 1e-9 {
+                    0.0
+                } else {
+                    (pamo.normalized - base) / base
+                }
+            };
+            gaps.push(gap);
+            vs_jcab.push(improve(jcab.normalized));
+            vs_fact.push(improve(fact.normalized));
+            table.row(vec![
+                OBJECTIVE_NAMES[obj].to_string(),
+                format!("{w}"),
+                format!("{:.4}", jcab.normalized),
+                format!("{:.4}", fact.normalized),
+                format!("{:.4}", pamo.normalized),
+                format!("{:.4}", plus.normalized),
+                format!("{:.2}%", gap * 100.0),
+                format!("{:+.1}%", improve(jcab.normalized) * 100.0),
+                format!("{:+.1}%", improve(fact.normalized) * 100.0),
+            ]);
+            for s in &scores {
+                let total: f64 = s.contributions.iter().sum::<f64>().max(1e-12);
+                let mut row = vec![
+                    OBJECTIVE_NAMES[obj].to_string(),
+                    format!("{w}"),
+                    s.name.clone(),
+                ];
+                row.extend(
+                    s.contributions
+                        .iter()
+                        .map(|c| format!("{:.1}%", 100.0 * c / total)),
+                );
+                ratio_table.row(row);
+            }
+            results.push(serde_json::json!({
+                "objective": OBJECTIVE_NAMES[obj],
+                "weight": w,
+                "scores": scores,
+            }));
+        }
+    }
+
+    println!("== Figure 6: normalized benefit across preference functions ==");
+    println!("{table}");
+    println!("== Figure 6 shading: per-objective benefit-ratio shares ==");
+    println!("{ratio_table}");
+    let stats = |v: &[f64]| {
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        (lo, hi)
+    };
+    let (glo, ghi) = stats(&gaps);
+    let (jlo, jhi) = stats(&vs_jcab);
+    let (flo, fhi) = stats(&vs_fact);
+    println!("Headline vs paper:");
+    println!(
+        "  PaMO gap to PaMO+: {:.2}%..{:.2}% (paper: 1.02%..11.26%)",
+        glo * 100.0,
+        ghi * 100.0
+    );
+    println!(
+        "  PaMO over JCAB:    {:+.1}%..{:+.1}% (paper: +3.9%..+42.3%)",
+        jlo * 100.0,
+        jhi * 100.0
+    );
+    println!(
+        "  PaMO over FACT:    {:+.1}%..{:+.1}% (paper: +0.42%..+26.5%)",
+        flo * 100.0,
+        fhi * 100.0
+    );
+
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(
+        "results/fig6.json",
+        serde_json::to_string_pretty(&results).unwrap(),
+    )
+    .expect("write results/fig6.json");
+    println!("(wrote results/fig6.json)");
+}

@@ -1,0 +1,116 @@
+//! Figure 7: normalized benefit under different server and video counts.
+//!
+//! Set 1: 10 videos, servers 5..9. Set 2: 5 servers, videos 7..11.
+//! Uniform preference weights; server uplinks drawn from
+//! {5, 10, 15, 20, 25, 30} Mbps; 3 repetitions.
+//!
+//! ```text
+//! cargo run --release -p eva-bench --bin fig7_scaling [--quick]
+//! ```
+
+use eva_bench::{run_all_methods, ExperimentSetting, Table};
+use eva_workload::N_OBJECTIVES;
+
+fn run_sweep(
+    label: &str,
+    settings: Vec<(String, ExperimentSetting)>,
+    results: &mut Vec<serde_json::Value>,
+    improvements: &mut (Vec<f64>, Vec<f64>, Vec<f64>),
+) {
+    let mut table = Table::new(vec![
+        label, "JCAB", "FACT", "PaMO", "PaMO+", "PaMO_gap_to_plus", "PaMO_vs_JCAB",
+        "PaMO_vs_FACT",
+    ]);
+    for (tag, setting) in settings {
+        let scores = run_all_methods(&setting);
+        let by = |name: &str| scores.iter().find(|s| s.name == name).unwrap();
+        let (jcab, fact, pamo, plus) = (by("JCAB"), by("FACT"), by("PaMO"), by("PaMO+"));
+        let gap = (plus.normalized - pamo.normalized) / plus.normalized.max(1e-9);
+        let improve = |base: f64| {
+            if base.abs() < 1e-9 {
+                0.0
+            } else {
+                (pamo.normalized - base) / base
+            }
+        };
+        improvements.0.push(gap);
+        improvements.1.push(improve(jcab.normalized));
+        improvements.2.push(improve(fact.normalized));
+        table.row(vec![
+            tag.clone(),
+            format!("{:.4}", jcab.normalized),
+            format!("{:.4}", fact.normalized),
+            format!("{:.4}", pamo.normalized),
+            format!("{:.4}", plus.normalized),
+            format!("{:.3}%", gap * 100.0),
+            format!("{:+.1}%", improve(jcab.normalized) * 100.0),
+            format!("{:+.1}%", improve(fact.normalized) * 100.0),
+        ]);
+        results.push(serde_json::json!({ "setting": tag, "scores": scores }));
+    }
+    println!("{table}");
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let build = |n_videos: usize, n_servers: usize| {
+        let mut s = ExperimentSetting::fig7(n_videos, n_servers);
+        if quick {
+            s = s.quick();
+        }
+        s
+    };
+
+    let mut results = Vec::new();
+    let mut improvements = (Vec::new(), Vec::new(), Vec::new());
+
+    println!("== Figure 7 (left): 10 videos, varying server count ==");
+    let node_range: Vec<usize> = if quick { vec![5, 7, 9] } else { vec![5, 6, 7, 8, 9] };
+    let settings = node_range
+        .iter()
+        .map(|&n| (format!("n{n}v10"), build(10, n)))
+        .collect();
+    run_sweep("nodes", settings, &mut results, &mut improvements);
+
+    println!("== Figure 7 (right): 5 servers, varying video count ==");
+    let video_range: Vec<usize> = if quick { vec![7, 9, 11] } else { vec![7, 8, 9, 10, 11] };
+    let settings = video_range
+        .iter()
+        .map(|&v| (format!("n5v{v}"), build(v, 5)))
+        .collect();
+    run_sweep("videos", settings, &mut results, &mut improvements);
+
+    let stats = |v: &[f64]| {
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        (lo, hi)
+    };
+    let (glo, ghi) = stats(&improvements.0);
+    let (jlo, jhi) = stats(&improvements.1);
+    let (flo, fhi) = stats(&improvements.2);
+    println!("Headline vs paper:");
+    println!(
+        "  PaMO gap to PaMO+: {:.4}%..{:.3}% (paper: 0.0006%..1.54%)",
+        glo * 100.0,
+        ghi * 100.0
+    );
+    println!(
+        "  PaMO over JCAB:    {:+.1}%..{:+.1}% (paper: +13.6%..+53.9%)",
+        jlo * 100.0,
+        jhi * 100.0
+    );
+    println!(
+        "  PaMO over FACT:    {:+.1}%..{:+.1}% (paper: +6.5%..+16.6%)",
+        flo * 100.0,
+        fhi * 100.0
+    );
+    let _ = N_OBJECTIVES; // weights fixed to 1 in this experiment
+
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(
+        "results/fig7.json",
+        serde_json::to_string_pretty(&results).unwrap(),
+    )
+    .expect("write results/fig7.json");
+    println!("(wrote results/fig7.json)");
+}

@@ -1,0 +1,141 @@
+//! Figure 8: outcome-model prediction quality (R²) vs training-set size.
+//!
+//! Training sets of 200..600 samples (random grid configurations, as in
+//! the paper), 20-sample random test sets, 10 repetitions; R² per
+//! objective.
+//!
+//! ```text
+//! cargo run --release -p eva-bench --bin fig8_outcome_r2 [--quick]
+//! ```
+
+use eva_bench::Table;
+use eva_gp::{fit_gp, FitConfig};
+use eva_stats::metrics::r_squared;
+use eva_stats::rng::{child_seed, seeded};
+use eva_workload::{
+    mot16_library, ConfigSpace, Profiler, SurfaceModel, N_OBJECTIVES, OBJECTIVE_NAMES,
+};
+use rand::Rng;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // The paper sweeps 200..600; we prepend smaller sizes because our
+    // synthetic surfaces are smooth enough that the GP is already
+    // near-perfect at 200 samples — the ramp lives below that.
+    let sizes: Vec<usize> = if quick {
+        vec![25, 100, 300]
+    } else {
+        vec![25, 50, 100, 200, 300, 400, 500, 600]
+    };
+    let reps = if quick { 3 } else { 10 };
+    // Hyperparameters are fitted on a subset, then the model conditions
+    // on the full training set — standard large-n GP practice that cuts
+    // the marginal-likelihood search from O(n³) per step to a constant.
+    let hyperfit_cap = 120;
+    let n_test = 20;
+    let uplink = 20e6;
+
+    let clip = mot16_library().remove(0);
+    let surfaces = SurfaceModel::new(clip);
+    let profiler = Profiler::new(surfaces); // default 2% measurement noise
+    let space = ConfigSpace::default();
+
+    let mut table = Table::new(vec![
+        "train_size",
+        "latency_R2",
+        "accuracy_R2",
+        "network_R2",
+        "computation_R2",
+        "energy_R2",
+    ]);
+    let mut results = Vec::new();
+
+    for &n in &sizes {
+        let mut r2_acc = [0.0f64; N_OBJECTIVES];
+        for rep in 0..reps {
+            let mut rng = seeded(child_seed(88, (n * 1000 + rep) as u64));
+            let train = profiler.measure_random(&space, uplink, n, &mut rng);
+            let xs: Vec<Vec<f64>> = train.iter().map(|s| s.features()).collect();
+            // Noise-free test points (ground truth targets).
+            let test_cfgs: Vec<_> = (0..n_test)
+                .map(|_| space.at(rng.gen_range(0..space.len())))
+                .collect();
+            #[allow(clippy::needless_range_loop)]
+            for obj in 0..N_OBJECTIVES {
+                let ys: Vec<f64> = train.iter().map(|s| s.outcome.to_vec()[obj]).collect();
+                let cfg = FitConfig {
+                    restarts: 1,
+                    max_evals: 100,
+                    ..Default::default()
+                };
+                let sub = n.min(hyperfit_cap);
+                let hyper_model =
+                    fit_gp(&xs[..sub], &ys[..sub], &cfg, &mut rng).expect("GP hyperfit");
+                let model = if sub < n {
+                    eva_gp::GpModel::new(
+                        hyper_model.kernel().clone(),
+                        hyper_model.noise_var(),
+                        xs.clone(),
+                        ys.clone(),
+                    )
+                    .expect("GP conditioning on full set")
+                } else {
+                    hyper_model
+                };
+                let truth: Vec<f64> = test_cfgs
+                    .iter()
+                    .map(|c| truth_value(&profiler, c, uplink, obj))
+                    .collect();
+                let pred: Vec<f64> = test_cfgs
+                    .iter()
+                    .map(|c| {
+                        model.predict_mean(&eva_workload::profiler::features_of(c, uplink))
+                    })
+                    .collect();
+                r2_acc[obj] += r_squared(&truth, &pred);
+            }
+        }
+        let r2: Vec<f64> = r2_acc.iter().map(|v| v / reps as f64).collect();
+        table.row(
+            std::iter::once(format!("{n}"))
+                .chain(r2.iter().map(|v| format!("{v:.4}")))
+                .collect(),
+        );
+        results.push(serde_json::json!({
+            "train_size": n,
+            "r2": OBJECTIVE_NAMES.iter().zip(&r2)
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect::<std::collections::BTreeMap<_, _>>(),
+        }));
+    }
+
+    println!("== Figure 8: outcome-model R² vs training-set size ==");
+    println!("{table}");
+    println!("Paper: R² → 1 as samples grow; error < 10% at 400 and < 5% at 600");
+    println!("samples for all but computation (< 10% at 600).");
+
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(
+        "results/fig8.json",
+        serde_json::to_string_pretty(&results).unwrap(),
+    )
+    .expect("write results/fig8.json");
+    println!("(wrote results/fig8.json)");
+}
+
+fn truth_value(
+    profiler: &Profiler,
+    c: &eva_workload::VideoConfig,
+    uplink: f64,
+    obj: usize,
+) -> f64 {
+    let s = profiler.surfaces();
+    match obj {
+        0 => s.e2e_latency_secs(c, uplink),
+        1 => s.accuracy(c),
+        2 => s.bandwidth_bps(c),
+        3 => s.compute_tflops(c),
+        4 => s.power_w(c),
+        _ => unreachable!("objective index"),
+    }
+}

@@ -1,0 +1,247 @@
+//! The outcome-model bank: one GP per (camera, objective).
+//!
+//! Algorithm 2 lines 1-4: profile a few configurations, fit GP outcome
+//! models; line 18: update them with the observations the BO loop
+//! makes. Inputs are the normalized `[r/2160, s/30, B/100Mbps]`
+//! features of `eva_workload::profiler::features_of`; objectives that
+//! do not depend on a feature (e.g. bandwidth on uplink) get that
+//! irrelevance discovered by the ARD lengthscales.
+//!
+//! Clips share one surface *family* (Fig. 2's "consistent pattern"), so
+//! kernel hyperparameters are fitted once per objective on the first
+//! camera's data and reused — data (not hypers) stays per-camera. This
+//! cuts fitting cost by ~M× without hurting accuracy.
+
+use eva_gp::{fit_gp, FitConfig, GpModel};
+use eva_workload::profiler::features_of;
+use eva_workload::{Outcome, ProfileSample, Profiler, Scenario, VideoConfig, N_OBJECTIVES};
+use rand::Rng;
+
+/// GPs for all cameras and objectives.
+#[derive(Debug, Clone)]
+pub struct OutcomeModelBank {
+    /// `models[camera][objective]`.
+    models: Vec<Vec<GpModel>>,
+}
+
+impl OutcomeModelBank {
+    /// Profile every camera with `samples_per_camera` random grid
+    /// configurations (uplinks drawn from the scenario's pool) and fit
+    /// the 5·M GPs. `rel_noise` is the profiling measurement noise.
+    pub fn fit_initial<R: Rng + ?Sized>(
+        scenario: &Scenario,
+        samples_per_camera: usize,
+        rel_noise: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(samples_per_camera >= 4, "need a minimal profiling budget");
+        let space = scenario.config_space();
+        let mut models: Vec<Vec<GpModel>> = Vec::with_capacity(scenario.n_videos());
+        let mut shared_kernels: Option<Vec<(eva_gp::Kernel, f64)>> = None;
+
+        for cam in 0..scenario.n_videos() {
+            let profiler = Profiler::new(scenario.surfaces(cam).clone())
+                .with_noise(rel_noise, rel_noise.min(0.02));
+            // Vary the uplink across samples so the latency GP sees it.
+            let samples: Vec<ProfileSample> = (0..samples_per_camera)
+                .map(|_| {
+                    let cfg = space.at(rng.gen_range(0..space.len()));
+                    let uplink =
+                        scenario.uplinks()[rng.gen_range(0..scenario.n_servers())];
+                    profiler.measure(&cfg, uplink, rng)
+                })
+                .collect();
+            let xs: Vec<Vec<f64>> = samples.iter().map(|s| s.features()).collect();
+
+            let mut cam_models = Vec::with_capacity(N_OBJECTIVES);
+            for obj in 0..N_OBJECTIVES {
+                let ys: Vec<f64> = samples.iter().map(|s| objective_value(&s.outcome, obj)).collect();
+                let model = match &shared_kernels {
+                    Some(kernels) => {
+                        let (kernel, noise) = &kernels[obj];
+                        GpModel::new(kernel.clone(), *noise, xs.clone(), ys)
+                            .expect("GP construction with shared hypers")
+                    }
+                    None => {
+                        let cfg = FitConfig {
+                            restarts: 2,
+                            max_evals: 120,
+                            ..Default::default()
+                        };
+                        fit_gp(&xs, &ys, &cfg, rng).expect("initial GP fit")
+                    }
+                };
+                cam_models.push(model);
+            }
+            if shared_kernels.is_none() {
+                shared_kernels = Some(
+                    cam_models
+                        .iter()
+                        .map(|m| (m.kernel().clone(), m.noise_var()))
+                        .collect(),
+                );
+            }
+            models.push(cam_models);
+        }
+        OutcomeModelBank { models }
+    }
+
+    /// Number of cameras covered.
+    pub fn n_cameras(&self) -> usize {
+        self.models.len()
+    }
+
+    /// The GP for one (camera, objective) pair.
+    pub fn model(&self, camera: usize, objective: usize) -> &GpModel {
+        &self.models[camera][objective]
+    }
+
+    /// Condition camera `camera`'s models on a new measured sample
+    /// (Algorithm 2 line 18; hyperparameters are kept).
+    pub fn update(&mut self, camera: usize, sample: &ProfileSample) {
+        let x = sample.features();
+        for obj in 0..N_OBJECTIVES {
+            let y = objective_value(&sample.outcome, obj);
+            let updated = self.models[camera][obj]
+                .with_added(std::slice::from_ref(&x), &[y])
+                .expect("conditioning update");
+            self.models[camera][obj] = updated;
+        }
+    }
+
+    /// Predictive mean outcome of one camera under a config + uplink.
+    pub fn predict(&self, camera: usize, config: &VideoConfig, uplink_bps: f64) -> Outcome {
+        let x = features_of(config, uplink_bps);
+        let v: Vec<f64> = (0..N_OBJECTIVES)
+            .map(|obj| self.models[camera][obj].predict_mean(&x))
+            .collect();
+        Outcome::from_vec(&v)
+    }
+
+    /// Predictive mean and variance of one (camera, objective) at a
+    /// config + uplink.
+    pub fn predict_objective(
+        &self,
+        camera: usize,
+        objective: usize,
+        config: &VideoConfig,
+        uplink_bps: f64,
+    ) -> (f64, f64) {
+        let x = features_of(config, uplink_bps);
+        self.models[camera][objective].predict(&x)
+    }
+}
+
+/// Extract objective `obj` (canonical order) from an outcome.
+fn objective_value(outcome: &Outcome, obj: usize) -> f64 {
+    outcome.to_vec()[obj]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_stats::metrics::r_squared;
+    use eva_stats::rng::seeded;
+    use eva_workload::outcome::idx;
+
+    fn bank(samples: usize) -> (Scenario, OutcomeModelBank) {
+        let sc = Scenario::uniform(3, 2, 20e6, 31);
+        let mut rng = seeded(1);
+        let bank = OutcomeModelBank::fit_initial(&sc, samples, 0.02, &mut rng);
+        (sc, bank)
+    }
+
+    #[test]
+    fn predictions_track_ground_truth() {
+        let (sc, bank) = bank(60);
+        // R² across a test grid, per objective, camera 0.
+        let space = sc.config_space();
+        let mut truth = vec![Vec::new(); N_OBJECTIVES];
+        let mut pred = vec![Vec::new(); N_OBJECTIVES];
+        for c in space.iter() {
+            let t = sc.evaluate_stream(0, &c, 20e6).to_vec();
+            let p = bank.predict(0, &c, 20e6).to_vec();
+            for d in 0..N_OBJECTIVES {
+                truth[d].push(t[d]);
+                pred[d].push(p[d]);
+            }
+        }
+        for d in 0..N_OBJECTIVES {
+            let r2 = r_squared(&truth[d], &pred[d]);
+            assert!(r2 > 0.9, "objective {d}: R² = {r2}");
+        }
+    }
+
+    #[test]
+    fn update_improves_local_prediction() {
+        let (sc, mut bank) = bank(12); // deliberately under-profiled
+        let c = VideoConfig::new(1800.0, 25.0);
+        let truth = sc.evaluate_stream(1, &c, 20e6);
+        let before = bank.predict(1, &c, 20e6);
+        // Feed the exact point several times (noiseless).
+        let profiler = Profiler::new(sc.surfaces(1).clone()).with_noise(0.0, 0.0);
+        let mut rng = seeded(2);
+        for _ in 0..3 {
+            let s = profiler.measure(&c, 20e6, &mut rng);
+            bank.update(1, &s);
+        }
+        let after = bank.predict(1, &c, 20e6);
+        let err = |o: &Outcome| (o.accuracy - truth.accuracy).abs();
+        assert!(
+            err(&after) <= err(&before) + 1e-9,
+            "update made accuracy prediction worse: {} -> {}",
+            err(&before),
+            err(&after)
+        );
+        assert!(err(&after) < 0.02);
+    }
+
+    #[test]
+    fn latency_model_sees_uplink() {
+        let (_, bank) = bank(80);
+        let c = VideoConfig::new(1080.0, 10.0);
+        let (lat_slow, _) = bank.predict_objective(0, idx::LATENCY, &c, 5e6);
+        let (lat_fast, _) = bank.predict_objective(0, idx::LATENCY, &c, 30e6);
+        // 5 Mbps uplink must predict noticeably higher latency...
+        // unless the training scenario only had one uplink value — the
+        // bank(·) scenario is uniform, so both servers share 20 Mbps and
+        // the GP cannot learn the dependence. Use the spread instead:
+        // prediction should at least not be wildly different.
+        assert!((lat_slow - lat_fast).abs() < 0.5);
+    }
+
+    #[test]
+    fn heterogeneous_uplinks_teach_latency_dependence() {
+        let sc = Scenario::new(
+            eva_workload::clip::clip_set(2, 3),
+            vec![5e6, 30e6],
+            eva_workload::ConfigSpace::default(),
+        );
+        let mut rng = seeded(3);
+        let bank = OutcomeModelBank::fit_initial(&sc, 80, 0.01, &mut rng);
+        let c = VideoConfig::new(1440.0, 10.0);
+        let (lat_slow, _) = bank.predict_objective(0, idx::LATENCY, &c, 5e6);
+        let (lat_fast, _) = bank.predict_objective(0, idx::LATENCY, &c, 30e6);
+        let truth_gap = sc.surfaces(0).e2e_latency_secs(&c, 5e6)
+            - sc.surfaces(0).e2e_latency_secs(&c, 30e6);
+        assert!(
+            lat_slow - lat_fast > 0.3 * truth_gap,
+            "learned gap {} vs true gap {truth_gap}",
+            lat_slow - lat_fast
+        );
+    }
+
+    #[test]
+    fn per_camera_models_differ_with_content() {
+        let (sc, bank) = bank(60);
+        // Cameras 0 and 1 have different clips; their accuracy
+        // predictions at the same config should reflect that.
+        let c = VideoConfig::new(1080.0, 15.0);
+        let a0 = bank.predict(0, &c, 20e6).accuracy;
+        let a1 = bank.predict(1, &c, 20e6).accuracy;
+        let t0 = sc.evaluate_stream(0, &c, 20e6).accuracy;
+        let t1 = sc.evaluate_stream(1, &c, 20e6).accuracy;
+        // Predicted ordering matches the true ordering.
+        assert_eq!(a0 > a1, t0 > t1, "a0={a0} a1={a1} t0={t0} t1={t1}");
+    }
+}

@@ -1,0 +1,410 @@
+//! PaMO end to end: Algorithm 2.
+//!
+//! 1. **Outcome function fitting** — profile every camera, fit the GP
+//!    bank (lines 1-4),
+//! 2. **System preference modeling** — EUBO-driven pairwise queries to
+//!    the decision maker, preference GP by Laplace (lines 5-11),
+//! 3. **Best configuration solving** — qNEI Bayesian optimization over
+//!    the feasible joint-configuration pool with Algorithm-1 placement
+//!    inside the loop (lines 12-26).
+
+use eva_bo::{bo_maximize, AcqKind, BoConfig, BoResult};
+use eva_prefgp::{elicit_preferences, ElicitConfig, PreferenceModel};
+use eva_sched::GroupingError;
+use eva_workload::{Outcome, Profiler, Scenario, VideoConfig};
+use parking_lot::Mutex;
+use rand::Rng;
+
+use crate::benefit::{OutcomeNormalizer, TruePreference, TruePreferenceOracle};
+use crate::composite::{CompositeSampler, PreferenceEval, INFEASIBLE_BENEFIT};
+use crate::models::OutcomeModelBank;
+use crate::pool::{build_pool, decode_joint};
+
+/// Where the preference layer comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreferenceSource {
+    /// Learn from pairwise comparisons (PaMO proper).
+    Learned,
+    /// Use the true preference function (the PaMO+ upper bound).
+    Oracle,
+}
+
+/// All of PaMO's tuning knobs.
+#[derive(Debug, Clone)]
+pub struct PamoConfig {
+    /// BO loop settings (acquisition, batch `b`, `δ`, `MaxIterNum`).
+    pub bo: BoConfig,
+    /// Joint-configuration candidate pool size.
+    pub pool_size: usize,
+    /// Initial profiling samples per camera.
+    pub profiling_per_camera: usize,
+    /// Relative measurement noise of profiling/observations.
+    pub profile_noise: f64,
+    /// Pairwise comparisons to collect (`V`).
+    pub n_comparisons: usize,
+    /// Outcome-space candidates offered to the elicitation loop.
+    pub elicit_candidates: usize,
+    /// Preference source (PaMO vs PaMO+).
+    pub preference: PreferenceSource,
+}
+
+impl Default for PamoConfig {
+    fn default() -> Self {
+        PamoConfig {
+            bo: BoConfig {
+                n_init: 6,
+                batch: 3,
+                mc_samples: 32,
+                max_iters: 10,
+                delta: 0.02,
+                kind: AcqKind::QNei,
+            },
+            pool_size: 60,
+            profiling_per_camera: 40,
+            profile_noise: 0.02,
+            n_comparisons: 18,
+            elicit_candidates: 40,
+            preference: PreferenceSource::Learned,
+        }
+    }
+}
+
+impl PamoConfig {
+    /// The PaMO+ oracle variant of this configuration.
+    pub fn plus(mut self) -> Self {
+        self.preference = PreferenceSource::Oracle;
+        self
+    }
+
+    /// Swap the acquisition function (the Sec. 5.1 ablations).
+    pub fn with_acquisition(mut self, kind: AcqKind) -> Self {
+        self.bo.kind = kind;
+        self
+    }
+
+    /// Swap the convergence threshold `δ` (the Fig. 10(b) sweep).
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.bo.delta = delta;
+        self
+    }
+}
+
+/// The result of one PaMO scheduling decision.
+#[derive(Debug, Clone)]
+pub struct PamoDecision {
+    /// Final per-camera configurations.
+    pub configs: Vec<VideoConfig>,
+    /// True (noise-free) aggregate outcome of those configurations.
+    pub outcome: Outcome,
+    /// True benefit `U` under the hidden preference (Eq. 13).
+    pub true_benefit: f64,
+    /// The BO run (trace, observations, convergence flag).
+    pub bo: BoResult,
+    /// Comparisons actually asked of the decision maker (0 for PaMO+).
+    pub comparisons_used: usize,
+}
+
+/// The PaMO scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct Pamo {
+    config: PamoConfig,
+}
+
+impl Pamo {
+    /// With explicit tuning.
+    pub fn new(config: PamoConfig) -> Self {
+        Pamo { config }
+    }
+
+    /// Run Algorithm 2 on a scenario. `true_pref` plays the decision
+    /// maker (answering comparisons for PaMO; evaluated directly for
+    /// PaMO+) and scores the final decision.
+    pub fn decide<R: Rng + ?Sized>(
+        &self,
+        scenario: &Scenario,
+        true_pref: &TruePreference,
+        rng: &mut R,
+    ) -> Result<PamoDecision, GroupingError> {
+        let cfg = &self.config;
+        let normalizer = OutcomeNormalizer::for_scenario(scenario);
+
+        // (1) Outcome function fitting.
+        let bank = OutcomeModelBank::fit_initial(
+            scenario,
+            cfg.profiling_per_camera,
+            cfg.profile_noise,
+            rng,
+        );
+
+        // (2) System preference modeling.
+        let pool = build_pool(scenario, cfg.pool_size, rng);
+        let (pref_eval, comparisons_used) = match cfg.preference {
+            PreferenceSource::Oracle => (PreferenceEval::Oracle(true_pref.clone()), 0),
+            PreferenceSource::Learned => {
+                let model = self.elicit(scenario, &bank, &normalizer, true_pref, &pool, rng)?;
+                (PreferenceEval::Learned(model), cfg.n_comparisons)
+            }
+        };
+
+        // (3) Best configuration solving.
+        let bank = Mutex::new(bank);
+        let objective = |x: &[f64]| -> f64 {
+            let configs = decode_joint(scenario, x);
+            let assignment = match scenario.schedule(&configs) {
+                Ok(a) => a,
+                Err(_) => return INFEASIBLE_BENEFIT,
+            };
+            // "Run" the configuration: measure per-camera outcomes with
+            // profiling noise, feed them back into the outcome models
+            // (Algorithm 2 lines 16-18), and score the aggregate with
+            // the preference layer (line 17).
+            let mut locked = bank.lock();
+            let agg =
+                measure_aggregate(scenario, &configs, &assignment, cfg.profile_noise, Some(&mut locked));
+            drop(locked);
+            if let Some(outcome) = agg {
+                let y = normalizer.normalize(&outcome);
+                pref_eval.mean_and_std(&y).0
+            } else {
+                INFEASIBLE_BENEFIT
+            }
+        };
+        let fit = |_observations: &[(Vec<f64>, f64)]| -> CompositeSampler<'_> {
+            CompositeSampler::new(
+                scenario,
+                bank.lock().clone(),
+                pref_eval.clone(),
+                normalizer.clone(),
+            )
+        };
+        let bo = bo_maximize(objective, fit, &pool, &cfg.bo, rng);
+
+        // Final recommendation: best observed joint config, scored by
+        // the *true* preference on the *noise-free* outcome.
+        let configs = decode_joint(scenario, &bo.best_x);
+        let outcome = scenario.evaluate(&configs)?.outcome;
+        let true_benefit = true_pref.benefit(&outcome);
+        Ok(PamoDecision {
+            configs,
+            outcome,
+            true_benefit,
+            bo,
+            comparisons_used,
+        })
+    }
+
+    /// Preference elicitation over predicted outcome vectors of pool
+    /// configurations (Algorithm 2 lines 5-11).
+    fn elicit<R: Rng + ?Sized>(
+        &self,
+        scenario: &Scenario,
+        bank: &OutcomeModelBank,
+        normalizer: &OutcomeNormalizer,
+        true_pref: &TruePreference,
+        pool: &[Vec<f64>],
+        rng: &mut R,
+    ) -> Result<PreferenceModel, GroupingError> {
+        let sampler = CompositeSampler::new(
+            scenario,
+            bank.clone(),
+            PreferenceEval::Oracle(true_pref.clone()), // unused: predict only
+            normalizer.clone(),
+        );
+        let mut candidates: Vec<Vec<f64>> = Vec::new();
+        for x in pool.iter() {
+            if candidates.len() >= self.config.elicit_candidates {
+                break;
+            }
+            if let Some(outcome) = sampler.predict_outcome(x) {
+                candidates.push(normalizer.normalize(&outcome));
+            }
+        }
+        assert!(
+            candidates.len() >= 2,
+            "elicitation needs at least two predicted outcomes"
+        );
+        let mut oracle = TruePreferenceOracle::new(true_pref);
+        let mut elicit_cfg = ElicitConfig::for_dim(eva_workload::N_OBJECTIVES);
+        elicit_cfg.n_comparisons = self.config.n_comparisons;
+        let (model, _) = elicit_preferences(&mut oracle, &candidates, &elicit_cfg, rng)
+            .expect("preference elicitation failed");
+        Ok(model)
+    }
+}
+
+/// Measure the aggregate outcome of a scheduled configuration with
+/// profiling noise, optionally feeding per-camera samples back into the
+/// outcome-model bank.
+pub fn measure_aggregate(
+    scenario: &Scenario,
+    configs: &[VideoConfig],
+    assignment: &eva_sched::Assignment,
+    rel_noise: f64,
+    mut update_bank: Option<&mut OutcomeModelBank>,
+) -> Option<Outcome> {
+    let m = scenario.n_videos();
+    let mut rng = eva_stats::rng::seeded(hash_configs(configs));
+    let mut acc = 0.0;
+    let mut net = 0.0;
+    let mut com = 0.0;
+    let mut eng = 0.0;
+    let mut lat = 0.0;
+    #[allow(clippy::needless_range_loop)]
+    for cam in 0..m {
+        let uplink = assignment
+            .streams
+            .iter()
+            .position(|s| s.id.source == cam)
+            .map(|i| scenario.uplinks()[assignment.server_of[i]])?;
+        let profiler = Profiler::new(scenario.surfaces(cam).clone())
+            .with_noise(rel_noise, rel_noise.min(0.02));
+        let sample = profiler.measure(&configs[cam], uplink, &mut rng);
+        acc += sample.outcome.accuracy;
+        net += sample.outcome.network_bps;
+        com += sample.outcome.compute_tflops;
+        eng += sample.outcome.power_w;
+        lat += sample.outcome.latency_s;
+        if let Some(bank) = update_bank.as_deref_mut() {
+            bank.update(cam, &sample);
+        }
+    }
+    Some(Outcome {
+        latency_s: lat / m as f64,
+        accuracy: acc / m as f64,
+        network_bps: net,
+        compute_tflops: com,
+        power_w: eng,
+    })
+}
+
+fn hash_configs(configs: &[VideoConfig]) -> u64 {
+    let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+    for c in configs {
+        h = (h ^ c.resolution.to_bits()).wrapping_mul(0x0000_0100_0000_01B3);
+        h = (h ^ c.fps.to_bits()).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_stats::rng::seeded;
+
+    /// A small, fast PaMO configuration for tests.
+    fn tiny_config() -> PamoConfig {
+        PamoConfig {
+            bo: BoConfig {
+                n_init: 4,
+                batch: 2,
+                mc_samples: 16,
+                max_iters: 4,
+                delta: 0.01,
+                kind: AcqKind::QNei,
+            },
+            pool_size: 25,
+            profiling_per_camera: 25,
+            profile_noise: 0.02,
+            n_comparisons: 8,
+            elicit_candidates: 20,
+            preference: PreferenceSource::Learned,
+        }
+    }
+
+    fn scenario() -> Scenario {
+        Scenario::uniform(3, 2, 20e6, 47)
+    }
+
+    #[test]
+    fn pamo_plus_finds_good_configurations() {
+        let sc = scenario();
+        let pref = TruePreference::uniform(&sc);
+        let pamo = Pamo::new(tiny_config().plus());
+        let d = pamo.decide(&sc, &pref, &mut seeded(1)).unwrap();
+        // Compare against the floor config: PaMO+ must do better.
+        let floor = sc
+            .evaluate(&[VideoConfig::new(360.0, 1.0); 3])
+            .unwrap()
+            .outcome;
+        assert!(
+            d.true_benefit >= pref.benefit(&floor),
+            "PaMO+ {} vs floor {}",
+            d.true_benefit,
+            pref.benefit(&floor)
+        );
+        assert_eq!(d.comparisons_used, 0);
+        assert!(sc.schedule(&d.configs).is_ok());
+    }
+
+    #[test]
+    fn pamo_learned_close_to_pamo_plus() {
+        let sc = scenario();
+        let pref = TruePreference::uniform(&sc);
+        let plus = Pamo::new(tiny_config().plus())
+            .decide(&sc, &pref, &mut seeded(2))
+            .unwrap();
+        let learned = Pamo::new(tiny_config())
+            .decide(&sc, &pref, &mut seeded(2))
+            .unwrap();
+        assert_eq!(learned.comparisons_used, 8);
+        // With tiny budgets we only ask for the right ballpark: the gap
+        // to the oracle must be a fraction of the benefit scale (Σw = 5).
+        let gap = plus.true_benefit - learned.true_benefit;
+        assert!(gap < 1.5, "gap {gap} (plus {} learned {})", plus.true_benefit, learned.true_benefit);
+    }
+
+    #[test]
+    fn decisions_are_always_zero_jitter_feasible() {
+        let sc = scenario();
+        let pref = TruePreference::new(&sc, [3.2, 1.0, 1.0, 1.0, 1.0]);
+        let d = Pamo::new(tiny_config().plus())
+            .decide(&sc, &pref, &mut seeded(3))
+            .unwrap();
+        let assignment = sc.schedule(&d.configs).unwrap();
+        for server in 0..sc.n_servers() {
+            let members: Vec<eva_sched::StreamTiming> = assignment
+                .streams_on(server)
+                .into_iter()
+                .map(|i| assignment.streams[i])
+                .collect();
+            assert!(eva_sched::const2_zero_jitter_ok(&members));
+        }
+    }
+
+    #[test]
+    fn preference_weights_steer_pamo_decisions() {
+        let sc = scenario();
+        // Accuracy-heavy vs energy-heavy true preferences.
+        let acc_pref = TruePreference::new(&sc, [0.2, 3.2, 0.2, 0.2, 0.2]);
+        let eng_pref = TruePreference::new(&sc, [0.2, 0.2, 0.2, 0.2, 3.2]);
+        let pamo = Pamo::new(tiny_config().plus());
+        let d_acc = pamo.decide(&sc, &acc_pref, &mut seeded(4)).unwrap();
+        let d_eng = pamo.decide(&sc, &eng_pref, &mut seeded(4)).unwrap();
+        assert!(
+            d_acc.outcome.accuracy >= d_eng.outcome.accuracy,
+            "acc-pref accuracy {} < eng-pref accuracy {}",
+            d_acc.outcome.accuracy,
+            d_eng.outcome.accuracy
+        );
+        assert!(
+            d_eng.outcome.power_w <= d_acc.outcome.power_w,
+            "eng-pref power {} > acc-pref power {}",
+            d_eng.outcome.power_w,
+            d_acc.outcome.power_w
+        );
+    }
+
+    #[test]
+    fn measure_aggregate_matches_analytic_at_zero_noise() {
+        let sc = scenario();
+        let configs = vec![VideoConfig::new(600.0, 5.0); 3];
+        let assignment = sc.schedule(&configs).unwrap();
+        let measured = measure_aggregate(&sc, &configs, &assignment, 0.0, None).unwrap();
+        let analytic = sc.evaluate(&configs).unwrap().outcome;
+        assert!((measured.accuracy - analytic.accuracy).abs() < 1e-9);
+        assert!((measured.network_bps - analytic.network_bps).abs() < 1e-6);
+        // Latency: measured averages per *camera*, analytic per split
+        // part; identical when nothing splits (these configs do not).
+        assert!((measured.latency_s - analytic.latency_s).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,149 @@
+//! The joint-configuration candidate pool.
+//!
+//! The raw decision space is `(N · C_r · C_f)^M`; Algorithm 1 absorbs
+//! the placement dimension and the BO loop then searches joint
+//! configurations `(r_i, s_i)_{i=1..M}`. We encode a joint config as a
+//! flat `2M` vector of normalized knobs (the GP-friendly encoding) and
+//! search over a *feasible* candidate pool: the uniform "diagonal"
+//! configs (all cameras share one knob pair) plus Latin-hypercube mixed
+//! configs, all pre-filtered by Algorithm-1 schedulability.
+
+use eva_workload::{Scenario, VideoConfig};
+use rand::Rng;
+
+/// Encode per-camera configs as a flat normalized vector
+/// `[r₀/2160, s₀/30, r₁/2160, …]`.
+pub fn encode_joint(scenario: &Scenario, configs: &[VideoConfig]) -> Vec<f64> {
+    assert_eq!(configs.len(), scenario.n_videos(), "encode: config count");
+    let space = scenario.config_space();
+    configs
+        .iter()
+        .flat_map(|c| space.normalize(c))
+        .collect()
+}
+
+/// Decode a flat vector back to per-camera configs (snapping to the
+/// knob grid, so arbitrary vectors are legal input).
+pub fn decode_joint(scenario: &Scenario, x: &[f64]) -> Vec<VideoConfig> {
+    let m = scenario.n_videos();
+    assert_eq!(x.len(), 2 * m, "decode: expected 2M entries");
+    let space = scenario.config_space();
+    (0..m)
+        .map(|i| space.denormalize_snap(&x[2 * i..2 * i + 2]))
+        .collect()
+}
+
+/// Build a feasible candidate pool of roughly `target_size` joint
+/// configurations.
+///
+/// Composition:
+/// 1. every *uniform* config (all cameras at the same knob pair) that is
+///    zero-jitter schedulable — these anchor the low-cost corner and the
+///    Pareto "diagonal",
+/// 2. Latin-hypercube mixed configs (independent knobs per camera),
+///    kept only if schedulable, until the target is reached.
+pub fn build_pool<R: Rng + ?Sized>(
+    scenario: &Scenario,
+    target_size: usize,
+    rng: &mut R,
+) -> Vec<Vec<f64>> {
+    assert!(target_size >= 1, "build_pool: empty target");
+    let space = scenario.config_space();
+    let m = scenario.n_videos();
+    let mut pool: Vec<Vec<f64>> = Vec::new();
+
+    // (1) Uniform diagonals.
+    for c in space.iter() {
+        let configs = vec![c; m];
+        if scenario.schedule(&configs).is_ok() {
+            pool.push(encode_joint(scenario, &configs));
+        }
+        if pool.len() >= target_size {
+            return pool;
+        }
+    }
+
+    // (2) LHS mixed configs; oversample since many draws are infeasible.
+    let mut attempts = 0usize;
+    let max_attempts = 60 * target_size;
+    while pool.len() < target_size && attempts < max_attempts {
+        let batch = eva_stats::design::latin_hypercube(rng, 16, 2 * m);
+        for u in batch {
+            attempts += 1;
+            let configs = decode_joint(scenario, &u);
+            if scenario.schedule(&configs).is_ok() {
+                let enc = encode_joint(scenario, &configs);
+                if !pool.contains(&enc) {
+                    pool.push(enc);
+                }
+                if pool.len() >= target_size {
+                    break;
+                }
+            }
+        }
+    }
+    assert!(
+        !pool.is_empty(),
+        "build_pool: no feasible joint configuration exists for this scenario"
+    );
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_stats::rng::seeded;
+
+    fn scenario() -> Scenario {
+        Scenario::uniform(4, 3, 20e6, 37)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_on_grid() {
+        let sc = scenario();
+        let configs = vec![
+            VideoConfig::new(480.0, 5.0),
+            VideoConfig::new(1080.0, 10.0),
+            VideoConfig::new(720.0, 1.0),
+            VideoConfig::new(2160.0, 30.0),
+        ];
+        let x = encode_joint(&sc, &configs);
+        assert_eq!(x.len(), 8);
+        let back = decode_joint(&sc, &x);
+        assert_eq!(back, configs);
+    }
+
+    #[test]
+    fn pool_entries_are_feasible_and_distinct() {
+        let sc = scenario();
+        let pool = build_pool(&sc, 40, &mut seeded(1));
+        assert!(pool.len() >= 20, "pool too small: {}", pool.len());
+        for x in &pool {
+            let configs = decode_joint(&sc, x);
+            assert!(sc.schedule(&configs).is_ok(), "infeasible pool entry");
+        }
+        let mut keys: Vec<String> = pool.iter().map(|p| format!("{p:?}")).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), pool.len(), "duplicate pool entries");
+    }
+
+    #[test]
+    fn pool_contains_cheap_diagonal() {
+        let sc = scenario();
+        let pool = build_pool(&sc, 30, &mut seeded(2));
+        let cheapest = encode_joint(&sc, &[VideoConfig::new(360.0, 1.0); 4]);
+        assert!(pool.contains(&cheapest));
+    }
+
+    #[test]
+    fn overconstrained_scenario_still_yields_some_pool() {
+        // 6 cameras, 1 server: only frugal configs are feasible.
+        let sc = Scenario::uniform(6, 1, 20e6, 5);
+        let pool = build_pool(&sc, 25, &mut seeded(3));
+        assert!(!pool.is_empty());
+        for x in &pool {
+            assert!(sc.schedule(&decode_joint(&sc, x)).is_ok());
+        }
+    }
+}

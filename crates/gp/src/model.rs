@@ -1,0 +1,409 @@
+//! Exact GP regression: posterior means, variances, joint covariance
+//! and posterior sampling.
+
+use eva_linalg::{vecops, Cholesky, Mat};
+use rand::Rng;
+
+use crate::{GpError, Kernel, Result};
+
+/// An exact Gaussian-process regression model.
+///
+/// Targets are standardized internally (zero mean, unit variance) so the
+/// hyperparameter priors/bounds in [`crate::fit`] transfer across
+/// outcome scales — the five EVA objectives span six orders of magnitude
+/// (seconds vs. TFLOPs).
+#[derive(Debug, Clone)]
+pub struct GpModel {
+    kernel: Kernel,
+    noise_var: f64,
+    x: Vec<Vec<f64>>,
+    y_raw: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+    chol: Cholesky,
+    /// `(K + σ² I)^{-1} z` where `z` is the standardized target vector.
+    alpha: Vec<f64>,
+}
+
+/// Joint latent posterior at a set of query points.
+#[derive(Debug, Clone)]
+pub struct GpPosterior {
+    /// Posterior mean per query point (original target units).
+    pub mean: Vec<f64>,
+    /// Posterior covariance (original target units squared).
+    pub cov: Mat,
+}
+
+impl GpModel {
+    /// Build a GP from training data. `noise_var` is the observation
+    /// noise variance **in standardized target units** (the scale
+    /// [`crate::fit`] optimizes on).
+    pub fn new(kernel: Kernel, noise_var: f64, x: Vec<Vec<f64>>, y: Vec<f64>) -> Result<Self> {
+        if x.is_empty() {
+            return Err(GpError::BadData("no training points".into()));
+        }
+        if x.len() != y.len() {
+            return Err(GpError::BadData(format!(
+                "{} inputs vs {} targets",
+                x.len(),
+                y.len()
+            )));
+        }
+        if x.iter().any(|p| p.len() != kernel.dim()) {
+            return Err(GpError::BadData(format!(
+                "input dim != kernel dim {}",
+                kernel.dim()
+            )));
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // also rejects NaN
+        if !(noise_var > 0.0) {
+            return Err(GpError::BadData("noise_var must be positive".into()));
+        }
+        let y_mean = vecops::mean(&y);
+        let centered: Vec<f64> = y.iter().map(|&v| v - y_mean).collect();
+        let var = vecops::dot(&centered, &centered) / y.len() as f64;
+        let y_std = if var > 1e-24 { var.sqrt() } else { 1.0 };
+        let z: Vec<f64> = centered.iter().map(|&v| v / y_std).collect();
+
+        let mut k = kernel.matrix(&x);
+        k.add_diag(noise_var);
+        let chol = Cholesky::decompose_jittered(&k)?;
+        let alpha = chol.solve(&z)?;
+        Ok(GpModel {
+            kernel,
+            noise_var,
+            x,
+            y_raw: y,
+            y_mean,
+            y_std,
+            chol,
+            alpha,
+        })
+    }
+
+    /// Number of training points.
+    pub fn n(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.kernel.dim()
+    }
+
+    /// The kernel in use.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Observation noise variance (standardized units).
+    pub fn noise_var(&self) -> f64 {
+        self.noise_var
+    }
+
+    /// Training inputs.
+    pub fn train_x(&self) -> &[Vec<f64>] {
+        &self.x
+    }
+
+    /// Training targets (original units).
+    pub fn train_y(&self) -> &[f64] {
+        &self.y_raw
+    }
+
+    /// Predictive mean and *latent* variance at one point, in original
+    /// target units. Add `noise_var * y_std²` for an observation.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        debug_assert_eq!(x.len(), self.dim(), "predict: dim mismatch");
+        let kx: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        let mean_z = vecops::dot(&kx, &self.alpha);
+        // var = k(x,x) - kx^T (K+σ²I)^{-1} kx
+        let v = self
+            .chol
+            .quad_form(&kx)
+            .expect("factorization dimension is consistent by construction");
+        let var_z = (self.kernel.eval(x, x) - v).max(0.0);
+        (
+            self.y_mean + self.y_std * mean_z,
+            self.y_std * self.y_std * var_z,
+        )
+    }
+
+    /// Predictive mean at one point (original units).
+    pub fn predict_mean(&self, x: &[f64]) -> f64 {
+        self.predict(x).0
+    }
+
+    /// Predict means and variances at many points.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Observation-noise variance in original units.
+    pub fn observation_noise(&self) -> f64 {
+        self.noise_var * self.y_std * self.y_std
+    }
+
+    /// Joint latent posterior (mean vector + full covariance) at `xs`.
+    pub fn posterior(&self, xs: &[Vec<f64>]) -> Result<GpPosterior> {
+        if xs.is_empty() {
+            return Err(GpError::BadData("posterior: empty query set".into()));
+        }
+        let kxq = self.kernel.cross_matrix(&self.x, xs); // n x q
+        let mean: Vec<f64> = (0..xs.len())
+            .map(|j| {
+                let col = kxq.col(j);
+                self.y_mean + self.y_std * vecops::dot(&col, &self.alpha)
+            })
+            .collect();
+        // cov = K(Q,Q) - Kxq^T (K+σ²I)^{-1} Kxq
+        let kqq = self.kernel.matrix(xs);
+        let w = self.chol.solve_mat(&kxq)?; // n x q
+        let reduction = kxq.transpose().matmul(&w)?; // q x q
+        let mut cov = kqq.sub(&reduction)?;
+        cov.symmetrize();
+        // Clamp round-off negatives on the diagonal.
+        for i in 0..cov.rows() {
+            if cov[(i, i)] < 0.0 {
+                cov[(i, i)] = 0.0;
+            }
+        }
+        let s2 = self.y_std * self.y_std;
+        Ok(GpPosterior {
+            mean,
+            cov: cov.scale(s2),
+        })
+    }
+
+    /// Log marginal likelihood of the training data under the current
+    /// hyperparameters, computed on the standardized scale (the quantity
+    /// [`crate::fit`] maximizes).
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        let n = self.n() as f64;
+        let z: Vec<f64> = self
+            .y_raw
+            .iter()
+            .map(|&v| (v - self.y_mean) / self.y_std)
+            .collect();
+        let data_fit = vecops::dot(&z, &self.alpha);
+        -0.5 * data_fit
+            - 0.5 * self.chol.log_det()
+            - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    /// Condition on additional observations, keeping hyperparameters
+    /// fixed (the BO inner loop re-fits hyperparameters only every few
+    /// iterations; this is the cheap between-refit update).
+    pub fn with_added(&self, x_new: &[Vec<f64>], y_new: &[f64]) -> Result<GpModel> {
+        if x_new.len() != y_new.len() {
+            return Err(GpError::BadData("with_added: length mismatch".into()));
+        }
+        let mut x = self.x.clone();
+        x.extend(x_new.iter().cloned());
+        let mut y = self.y_raw.clone();
+        y.extend_from_slice(y_new);
+        GpModel::new(self.kernel.clone(), self.noise_var, x, y)
+    }
+}
+
+impl GpPosterior {
+    /// Number of query points.
+    pub fn len(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// True when there are no query points (unreachable by construction,
+    /// provided for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.mean.is_empty()
+    }
+
+    /// Draw `n_samples` joint samples; returns an `n_samples x q` matrix.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, n_samples: usize) -> Result<Mat> {
+        let q = self.len();
+        let mut cov = self.cov.clone();
+        // Sampling jitter: tiny relative to outcome scales, stabilizes
+        // the factorization of nearly singular posteriors.
+        cov.add_diag(1e-12 + 1e-9 * mean_diag(&self.cov));
+        let chol = Cholesky::decompose_jittered(&cov)?;
+        let mut out = Mat::zeros(n_samples, q);
+        for s in 0..n_samples {
+            let eps = eva_stats::rng::standard_normal_vec(rng, q);
+            let correlated = chol.l().matvec(&eps)?;
+            for j in 0..q {
+                out[(s, j)] = self.mean[j] + correlated[j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Draw joint samples using *given* standard-normal inputs (common
+    /// random numbers for acquisition-function comparison). `eps` must be
+    /// `n_samples x q`.
+    pub fn sample_with(&self, eps: &Mat) -> Result<Mat> {
+        let q = self.len();
+        if eps.cols() != q {
+            return Err(GpError::BadData(format!(
+                "sample_with: eps has {} cols, posterior has {q} points",
+                eps.cols()
+            )));
+        }
+        let mut cov = self.cov.clone();
+        cov.add_diag(1e-12 + 1e-9 * mean_diag(&self.cov));
+        let chol = Cholesky::decompose_jittered(&cov)?;
+        let mut out = Mat::zeros(eps.rows(), q);
+        for s in 0..eps.rows() {
+            let correlated = chol.l().matvec(eps.row(s))?;
+            for j in 0..q {
+                out[(s, j)] = self.mean[j] + correlated[j];
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn mean_diag(m: &Mat) -> f64 {
+    let n = m.rows().max(1);
+    (0..m.rows()).map(|i| m[(i, i)].abs()).sum::<f64>() / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KernelType;
+    use eva_stats::rng::seeded;
+
+    fn toy_model() -> GpModel {
+        let x: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 * 0.4]).collect();
+        let y: Vec<f64> = x.iter().map(|p| (p[0] * 2.0).sin() * 3.0 + 5.0).collect();
+        let kernel = Kernel::isotropic(KernelType::Matern52, 1, 0.6, 1.0);
+        GpModel::new(kernel, 1e-4, x, y).unwrap()
+    }
+
+    #[test]
+    fn interpolates_training_points_with_small_noise() {
+        let m = toy_model();
+        for (xi, &yi) in m.train_x().to_vec().iter().zip(m.train_y().to_vec().iter()) {
+            let (mean, var) = m.predict(xi);
+            assert!((mean - yi).abs() < 0.05, "mean {mean} vs {yi}");
+            assert!(var < 0.05, "var {var}");
+        }
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let m = toy_model();
+        let (_, var_near) = m.predict(&[1.0]);
+        let (_, var_far) = m.predict(&[10.0]);
+        assert!(var_far > var_near * 10.0, "{var_far} vs {var_near}");
+        // Far from data, mean reverts toward the target mean.
+        let (mean_far, _) = m.predict(&[100.0]);
+        let avg = eva_linalg::vecops::mean(m.train_y());
+        assert!((mean_far - avg).abs() < 0.3);
+    }
+
+    #[test]
+    fn posterior_diag_matches_pointwise_variance() {
+        let m = toy_model();
+        let qs: Vec<Vec<f64>> = vec![vec![0.3], vec![1.7], vec![5.0]];
+        let post = m.posterior(&qs).unwrap();
+        for (j, q) in qs.iter().enumerate() {
+            let (mean, var) = m.predict(q);
+            assert!((post.mean[j] - mean).abs() < 1e-9);
+            assert!((post.cov[(j, j)] - var).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn posterior_samples_match_moments() {
+        let m = toy_model();
+        let qs: Vec<Vec<f64>> = vec![vec![0.5], vec![2.5]];
+        let post = m.posterior(&qs).unwrap();
+        let samples = post.sample(&mut seeded(3), 20_000).unwrap();
+        for j in 0..2 {
+            let col: Vec<f64> = (0..samples.rows()).map(|s| samples[(s, j)]).collect();
+            let mean = eva_linalg::vecops::mean(&col);
+            let var = col.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>()
+                / col.len() as f64;
+            assert!((mean - post.mean[j]).abs() < 0.05, "mean j={j}");
+            assert!(
+                (var - post.cov[(j, j)]).abs() < 0.1 * post.cov[(j, j)].max(0.01),
+                "var j={j}: {var} vs {}",
+                post.cov[(j, j)]
+            );
+        }
+    }
+
+    #[test]
+    fn sample_with_is_deterministic_given_eps() {
+        let m = toy_model();
+        let qs: Vec<Vec<f64>> = vec![vec![0.5], vec![2.5]];
+        let post = m.posterior(&qs).unwrap();
+        let eps = Mat::from_rows(&[&[0.3, -1.2], &[0.0, 0.7]]);
+        let a = post.sample_with(&eps).unwrap();
+        let b = post.sample_with(&eps).unwrap();
+        assert!(a.max_abs_diff(&b) < 1e-15);
+    }
+
+    #[test]
+    fn standardization_is_scale_invariant() {
+        // Fitting y and 1000*y + 7 must give identical standardized
+        // structure -> R² of predictions identical.
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * 0.3]).collect();
+        let y1: Vec<f64> = x.iter().map(|p| p[0].cos()).collect();
+        let y2: Vec<f64> = y1.iter().map(|&v| 1000.0 * v + 7.0).collect();
+        let kernel = Kernel::isotropic(KernelType::Rbf, 1, 0.8, 1.0);
+        let m1 = GpModel::new(kernel.clone(), 1e-4, x.clone(), y1).unwrap();
+        let m2 = GpModel::new(kernel, 1e-4, x, y2).unwrap();
+        let q = vec![1.25];
+        let (a, va) = m1.predict(&q);
+        let (b, vb) = m2.predict(&q);
+        assert!((b - (1000.0 * a + 7.0)).abs() < 1e-6);
+        assert!((vb - 1e6 * va).abs() < 1e-3);
+    }
+
+    #[test]
+    fn with_added_shrinks_uncertainty() {
+        let m = toy_model();
+        let q = vec![5.0];
+        let (_, var_before) = m.predict(&q);
+        let m2 = m.with_added(std::slice::from_ref(&q), &[4.0]).unwrap();
+        let (mean_after, var_after) = m2.predict(&q);
+        assert!(var_after < var_before / 10.0);
+        assert!((mean_after - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn log_marginal_likelihood_prefers_good_lengthscale() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.25]).collect();
+        let y: Vec<f64> = x.iter().map(|p| p[0].sin()).collect();
+        let lml = |ls: f64| {
+            let kernel = Kernel::isotropic(KernelType::Rbf, 1, ls, 1.0);
+            GpModel::new(kernel, 1e-4, x.clone(), y.clone())
+                .unwrap()
+                .log_marginal_likelihood()
+        };
+        // A sensible lengthscale beats badly mis-specified ones.
+        assert!(lml(1.0) > lml(0.01));
+        assert!(lml(1.0) > lml(100.0));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let kernel = Kernel::isotropic(KernelType::Rbf, 1, 1.0, 1.0);
+        assert!(GpModel::new(kernel.clone(), 1e-4, vec![], vec![]).is_err());
+        assert!(GpModel::new(kernel.clone(), 1e-4, vec![vec![0.0]], vec![1.0, 2.0]).is_err());
+        assert!(GpModel::new(kernel.clone(), 0.0, vec![vec![0.0]], vec![1.0]).is_err());
+        assert!(GpModel::new(kernel, 1e-4, vec![vec![0.0, 1.0]], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn constant_targets_are_handled() {
+        let x: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let y = vec![3.0; 5];
+        let kernel = Kernel::isotropic(KernelType::Matern32, 1, 1.0, 1.0);
+        let m = GpModel::new(kernel, 1e-4, x, y).unwrap();
+        let (mean, _) = m.predict(&[2.5]);
+        assert!((mean - 3.0).abs() < 1e-6);
+    }
+}

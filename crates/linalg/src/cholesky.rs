@@ -1,0 +1,241 @@
+//! Cholesky factorization for symmetric positive-definite matrices.
+//!
+//! Kernel (Gram) matrices produced by the GP stack are symmetric and in
+//! theory positive definite, but near-duplicate inputs push the smallest
+//! eigenvalue to round-off scale. [`Cholesky::decompose_jittered`]
+//! therefore retries with exponentially increasing diagonal jitter — the
+//! standard GP-library trick (GPML §3.4.3, BoTorch does the same).
+
+use crate::{solve, LinalgError, Mat, Result};
+
+/// Jitter ladder start (relative to the mean diagonal magnitude).
+const JITTER_START: f64 = 1e-10;
+/// Maximum number of 10x jitter escalations before giving up.
+const JITTER_TRIES: usize = 8;
+
+/// Lower-triangular Cholesky factor `L` with `A = L L^T`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Mat,
+    /// Jitter that was actually added to the diagonal (0.0 if none).
+    jitter: f64,
+}
+
+impl Cholesky {
+    /// Factor a symmetric positive-definite matrix without jitter.
+    pub fn decompose(a: &Mat) -> Result<Self> {
+        Self::decompose_inner(a, 0.0)
+    }
+
+    /// Factor with automatic jitter escalation. `a` must be symmetric;
+    /// the decomposition retries with `jitter * 10^k` added to the
+    /// diagonal until it succeeds or `JITTER_TRIES` is exhausted.
+    pub fn decompose_jittered(a: &Mat) -> Result<Self> {
+        match Self::decompose_inner(a, 0.0) {
+            Ok(c) => return Ok(c),
+            Err(LinalgError::NotPositiveDefinite { .. }) => {}
+            Err(e) => return Err(e),
+        }
+        // Scale the ladder by the mean diagonal so jitter is meaningful
+        // for both tiny and huge kernel amplitudes.
+        let n = a.rows();
+        let mean_diag = (0..n).map(|i| a[(i, i)].abs()).sum::<f64>() / n.max(1) as f64;
+        let base = JITTER_START * mean_diag.max(1.0);
+        let mut jitter = base;
+        let mut last_err = LinalgError::NotPositiveDefinite { pivot: 0, value: 0.0 };
+        for _ in 0..JITTER_TRIES {
+            match Self::decompose_inner(a, jitter) {
+                Ok(c) => return Ok(c),
+                Err(e @ LinalgError::NotPositiveDefinite { .. }) => last_err = e,
+                Err(e) => return Err(e),
+            }
+            jitter *= 10.0;
+        }
+        Err(last_err)
+    }
+
+    fn decompose_inner(a: &Mat, jitter: f64) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut l = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                // sum_{k<j} L[i,k] * L[j,k]
+                let s = crate::vecops::dot(&l.row(i)[..j], &l.row(j)[..j]);
+                if i == j {
+                    let d = a[(i, i)] + jitter - s;
+                    if d <= 0.0 || !d.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i, value: d });
+                    }
+                    l[(i, j)] = d.sqrt();
+                } else {
+                    l[(i, j)] = (a[(i, j)] - s) / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l, jitter })
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Mat {
+        &self.l
+    }
+
+    /// The jitter added to the diagonal during factorization.
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solve `A x = b` via the two triangular solves.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let y = solve::forward_substitution(&self.l, b)?;
+        solve::backward_substitution_transposed(&self.l, &y)
+    }
+
+    /// Solve `A X = B` column by column.
+    pub fn solve_mat(&self, b: &Mat) -> Result<Mat> {
+        if b.rows() != self.dim() {
+            return Err(LinalgError::DimMismatch {
+                op: "cholesky solve_mat",
+                left: (self.dim(), self.dim()),
+                right: (b.rows(), b.cols()),
+            });
+        }
+        let mut out = Mat::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve(&col)?;
+            for (i, v) in x.into_iter().enumerate() {
+                out[(i, j)] = v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// `log det A = 2 * sum_i log L[i,i]`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// The inverse `A^{-1}` (avoid when a solve suffices; needed by the
+    /// Laplace-approximation posterior covariance).
+    pub fn inverse(&self) -> Result<Mat> {
+        self.solve_mat(&Mat::identity(self.dim()))
+    }
+
+    /// Quadratic form `b^T A^{-1} b` — the data-fit term of a GP
+    /// log-marginal-likelihood.
+    pub fn quad_form(&self, b: &[f64]) -> Result<f64> {
+        // b^T A^-1 b = ||L^-1 b||^2
+        let y = solve::forward_substitution(&self.l, b)?;
+        Ok(crate::vecops::dot(&y, &y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_3x3() -> Mat {
+        // A = B B^T + I for B random-ish is SPD; use a fixed known one.
+        Mat::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.2], &[0.6, 1.2, 3.0]])
+    }
+
+    #[test]
+    fn reconstructs_a() {
+        let a = spd_3x3();
+        let ch = Cholesky::decompose(&a).unwrap();
+        let rec = ch.l().matmul(&ch.l().transpose()).unwrap();
+        assert!(rec.max_abs_diff(&a) < 1e-12);
+        assert_eq!(ch.jitter(), 0.0);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd_3x3();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = Cholesky::decompose(&a).unwrap().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn log_det_matches_known_value() {
+        let a = Mat::from_diag(&[2.0, 3.0, 4.0]);
+        let ch = Cholesky::decompose(&a).unwrap();
+        assert!((ch.log_det() - (24.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quad_form_matches_solve() {
+        let a = spd_3x3();
+        let b = [1.0, 2.0, 3.0];
+        let ch = Cholesky::decompose(&a).unwrap();
+        let x = ch.solve(&b).unwrap();
+        let direct = crate::vecops::dot(&b, &x);
+        assert!((ch.quad_form(&b).unwrap() - direct).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_non_spd_without_jitter() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn jitter_rescues_near_singular() {
+        // Rank-1 matrix: strictly singular, jitter makes it factorizable.
+        let a = Mat::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let ch = Cholesky::decompose_jittered(&a).unwrap();
+        assert!(ch.jitter() > 0.0);
+        let rec = ch.l().matmul(&ch.l().transpose()).unwrap();
+        assert!(rec.max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn jitter_cannot_rescue_indefinite() {
+        let a = Mat::from_rows(&[&[1.0, 0.0], &[0.0, -100.0]]);
+        assert!(Cholesky::decompose_jittered(&a).is_err());
+    }
+
+    #[test]
+    fn inverse_times_a_is_identity() {
+        let a = spd_3x3();
+        let inv = Cholesky::decompose(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Mat::identity(3)) < 1e-10);
+    }
+
+    #[test]
+    fn solve_mat_multi_rhs() {
+        let a = spd_3x3();
+        let b = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let x = Cholesky::decompose(&a).unwrap().solve_mat(&b).unwrap();
+        let rec = a.matmul(&x).unwrap();
+        assert!(rec.max_abs_diff(&b) < 1e-10);
+    }
+
+    #[test]
+    fn non_square_errors() {
+        let a = Mat::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the dense linear-algebra kernels.
+
+use eva_linalg::{vecops, Cholesky, Lu, Mat};
+use proptest::prelude::*;
+
+/// Strategy: a random matrix with entries in [-1, 1].
+fn mat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(-1.0f64..1.0, rows * cols)
+        .prop_map(move |data| Mat::from_vec(rows, cols, data))
+}
+
+/// Strategy: an SPD matrix `B B^T + I` of size n.
+fn spd_strategy(n: usize) -> impl Strategy<Value = Mat> {
+    mat_strategy(n, n).prop_map(move |b| {
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        a.add_diag(1.0);
+        a.symmetrize();
+        a
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cholesky_reconstructs(a in spd_strategy(6)) {
+        let ch = Cholesky::decompose_jittered(&a).unwrap();
+        let rec = ch.l().matmul(&ch.l().transpose()).unwrap();
+        prop_assert!(rec.max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn cholesky_solve_residual_small(a in spd_strategy(5),
+                                     b in proptest::collection::vec(-1.0f64..1.0, 5)) {
+        let ch = Cholesky::decompose_jittered(&a).unwrap();
+        let x = ch.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        prop_assert!(vecops::l1_dist(&ax, &b) < 1e-6);
+    }
+
+    #[test]
+    fn cholesky_quad_form_nonnegative(a in spd_strategy(4),
+                                      b in proptest::collection::vec(-1.0f64..1.0, 4)) {
+        let ch = Cholesky::decompose_jittered(&a).unwrap();
+        prop_assert!(ch.quad_form(&b).unwrap() >= -1e-12);
+    }
+
+    #[test]
+    fn lu_solve_residual_small(a in spd_strategy(5),
+                               b in proptest::collection::vec(-1.0f64..1.0, 5)) {
+        // SPD inputs are conveniently always nonsingular.
+        let lu = Lu::decompose(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        prop_assert!(vecops::l1_dist(&ax, &b) < 1e-6);
+    }
+
+    #[test]
+    fn lu_det_matches_cholesky_logdet(a in spd_strategy(4)) {
+        let det = Lu::decompose(&a).unwrap().det();
+        let log_det = Cholesky::decompose(&a).unwrap().log_det();
+        prop_assert!(det > 0.0);
+        prop_assert!((det.ln() - log_det).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_associative_with_vector(a in mat_strategy(4, 3),
+                                      b in mat_strategy(3, 5),
+                                      x in proptest::collection::vec(-1.0f64..1.0, 5)) {
+        // (A B) x == A (B x)
+        let lhs = a.matmul(&b).unwrap().matvec(&x).unwrap();
+        let rhs = a.matvec(&b.matvec(&x).unwrap()).unwrap();
+        prop_assert!(vecops::l1_dist(&lhs, &rhs) < 1e-9);
+    }
+
+    #[test]
+    fn transpose_respects_matvec(a in mat_strategy(4, 6),
+                                 x in proptest::collection::vec(-1.0f64..1.0, 4)) {
+        let fast = a.matvec_t(&x).unwrap();
+        let explicit = a.transpose().matvec(&x).unwrap();
+        prop_assert!(vecops::l1_dist(&fast, &explicit) < 1e-10);
+    }
+
+    #[test]
+    fn dot_cauchy_schwarz(x in proptest::collection::vec(-10.0f64..10.0, 1..32),
+                          y_seed in proptest::collection::vec(-10.0f64..10.0, 32)) {
+        let y = &y_seed[..x.len()];
+        let d = vecops::dot(&x, y).abs();
+        let bound = vecops::norm2(&x) * vecops::norm2(y);
+        prop_assert!(d <= bound + 1e-9);
+    }
+}

@@ -1,0 +1,81 @@
+//! Golden-section search for one-dimensional unimodal minimization.
+
+/// Inverse golden ratio.
+const INV_PHI: f64 = 0.618_033_988_749_894_9;
+
+/// Minimize a unimodal `f` on `[lo, hi]` to interval width `tol`.
+/// Returns `(x_min, f(x_min))`.
+pub fn golden_section(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, tol: f64) -> (f64, f64) {
+    assert!(lo < hi, "golden_section: lo >= hi");
+    assert!(tol > 0.0, "golden_section: tol must be positive");
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (b - a).abs() > tol {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    (x, f(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_parabola_minimum() {
+        let (x, v) = golden_section(|x| (x - 3.0) * (x - 3.0) + 2.0, 0.0, 10.0, 1e-8);
+        assert!((x - 3.0).abs() < 1e-6);
+        assert!((v - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn finds_boundary_minimum() {
+        // Monotone decreasing: minimum at the right edge.
+        let (x, _) = golden_section(|x| -x, 0.0, 1.0, 1e-8);
+        assert!((x - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nonsmooth_unimodal() {
+        let (x, v) = golden_section(|x: f64| (x - 0.25).abs(), 0.0, 1.0, 1e-10);
+        assert!((x - 0.25).abs() < 1e-8);
+        assert!(v < 1e-8);
+    }
+
+    #[test]
+    fn evaluation_count_is_logarithmic() {
+        let mut count = 0;
+        golden_section(
+            |x| {
+                count += 1;
+                x * x
+            },
+            -1.0,
+            1.0,
+            1e-9,
+        );
+        // log(2/1e-9)/log(1/0.618) ~ 45 evals, plus bracketing overhead.
+        assert!(count < 60, "count = {count}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lo >= hi")]
+    fn rejects_bad_interval() {
+        let _ = golden_section(|x| x, 1.0, 0.0, 1e-6);
+    }
+}

@@ -1,0 +1,167 @@
+//! Hyperparameter selection for the preference GP.
+//!
+//! The preference model has two knobs the paper never discusses how to
+//! set: the kernel lengthscale over outcome space and the probit noise
+//! `λ`. With only a handful of comparisons, marginal likelihood is
+//! unreliable; leave-one-comparison-out (LOCO) prediction accuracy is
+//! the natural small-data criterion: refit on `V−1` comparisons,
+//! predict the held-out one, count hits. `V ≤ ~30` keeps the `V` refits
+//! per candidate trivially cheap.
+
+use eva_gp::{Kernel, KernelType};
+
+use crate::dataset::{Comparison, PreferenceDataset};
+use crate::model::{PrefError, PreferenceModel};
+
+/// A candidate hyperparameter setting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefHyper {
+    /// Isotropic RBF lengthscale over the normalized outcome cube.
+    pub lengthscale: f64,
+    /// Probit noise scale `λ`.
+    pub lambda: f64,
+}
+
+/// The default candidate grid: lengthscales spanning "local" to
+/// "near-linear" utilities, two noise levels.
+pub fn default_grid() -> Vec<PrefHyper> {
+    let mut grid = Vec::new();
+    for &lengthscale in &[0.3, 0.5, 0.8, 1.5] {
+        for &lambda in &[0.05, 0.15] {
+            grid.push(PrefHyper {
+                lengthscale,
+                lambda,
+            });
+        }
+    }
+    grid
+}
+
+/// Leave-one-comparison-out accuracy of a hyperparameter setting.
+/// Comparisons whose held-out refit fails (degenerate data) count as
+/// misses.
+pub fn loco_accuracy(data: &PreferenceDataset, hyper: PrefHyper) -> f64 {
+    let v = data.len();
+    assert!(v >= 2, "loco_accuracy: need at least two comparisons");
+    let dim = data.items()[0].len();
+    let mut hits = 0usize;
+    for held_out in 0..v {
+        let mut train = PreferenceDataset::new();
+        for (i, cmp) in data.comparisons().iter().enumerate() {
+            if i == held_out {
+                continue;
+            }
+            train.add(&data.items()[cmp.winner], &data.items()[cmp.loser]);
+        }
+        let kernel = Kernel::isotropic(KernelType::Rbf, dim, hyper.lengthscale, 1.0);
+        let Ok(model) = PreferenceModel::fit(&train, kernel, hyper.lambda) else {
+            continue;
+        };
+        let Comparison { winner, loser } = data.comparisons()[held_out];
+        if model.prob_prefers(&data.items()[winner], &data.items()[loser]) > 0.5 {
+            hits += 1;
+        }
+    }
+    hits as f64 / v as f64
+}
+
+/// Pick the grid setting with the best LOCO accuracy (first on ties)
+/// and fit the final model on all comparisons with it.
+pub fn fit_selected(
+    data: &PreferenceDataset,
+    grid: &[PrefHyper],
+) -> Result<(PreferenceModel, PrefHyper, f64), PrefError> {
+    if data.is_empty() {
+        return Err(PrefError::Empty);
+    }
+    assert!(!grid.is_empty(), "fit_selected: empty grid");
+    let dim = data.items()[0].len();
+    let mut best: Option<(PrefHyper, f64)> = None;
+    for &hyper in grid {
+        let acc = if data.len() >= 2 {
+            loco_accuracy(data, hyper)
+        } else {
+            0.5 // single comparison: no held-out signal
+        };
+        if best.is_none_or(|(_, b)| acc > b) {
+            best = Some((hyper, acc));
+        }
+    }
+    let (hyper, acc) = best.expect("non-empty grid");
+    let kernel = Kernel::isotropic(KernelType::Rbf, dim, hyper.lengthscale, 1.0);
+    let model = PreferenceModel::fit(data, kernel, hyper.lambda)?;
+    Ok((model, hyper, acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::FunctionOracle;
+    use eva_stats::rng::seeded;
+    use rand::Rng;
+
+    fn linear_dataset(n: usize, seed: u64) -> PreferenceDataset {
+        let mut rng = seeded(seed);
+        let mut data = PreferenceDataset::new();
+        let mut oracle = FunctionOracle::new(|y: &[f64]| -(y[0] + 2.0 * y[1]));
+        for _ in 0..n {
+            let a: Vec<f64> = vec![rng.gen(), rng.gen()];
+            let b: Vec<f64> = vec![rng.gen(), rng.gen()];
+            data.query(&mut oracle, &a, &b);
+        }
+        data
+    }
+
+    #[test]
+    fn loco_accuracy_in_unit_interval() {
+        let data = linear_dataset(12, 1);
+        for hyper in default_grid() {
+            let acc = loco_accuracy(&data, hyper);
+            assert!((0.0..=1.0).contains(&acc), "{hyper:?}: {acc}");
+        }
+    }
+
+    #[test]
+    fn consistent_data_scores_high() {
+        // A linear utility is easy: the best grid setting should
+        // predict held-out comparisons well.
+        let data = linear_dataset(20, 2);
+        let (_, hyper, acc) = fit_selected(&data, &default_grid()).unwrap();
+        assert!(acc > 0.7, "best {hyper:?} only reached {acc}");
+    }
+
+    #[test]
+    fn random_noise_scores_near_chance() {
+        // Comparisons answered by a coin flip: LOCO accuracy should
+        // hover around 0.5 for every setting.
+        let mut rng = seeded(3);
+        let mut data = PreferenceDataset::new();
+        for _ in 0..16 {
+            let a: Vec<f64> = vec![rng.gen(), rng.gen()];
+            let b: Vec<f64> = vec![rng.gen(), rng.gen()];
+            if rng.gen::<bool>() {
+                data.add(&a, &b);
+            } else {
+                data.add(&b, &a);
+            }
+        }
+        let (_, _, acc) = fit_selected(&data, &default_grid()).unwrap();
+        assert!(acc < 0.85, "noise data scored suspiciously high: {acc}");
+    }
+
+    #[test]
+    fn selection_beats_worst_grid_point() {
+        let data = linear_dataset(18, 4);
+        let grid = default_grid();
+        let accs: Vec<f64> = grid.iter().map(|&h| loco_accuracy(&data, h)).collect();
+        let worst = accs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let (_, _, best) = fit_selected(&data, &grid).unwrap();
+        assert!(best >= worst);
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let data = PreferenceDataset::new();
+        assert!(fit_selected(&data, &default_grid()).is_err());
+    }
+}

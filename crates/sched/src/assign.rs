@@ -1,0 +1,219 @@
+//! Final placement: Algorithm 1 end-to-end.
+//!
+//! Combines high-rate splitting, Theorem-3 grouping and Hungarian
+//! assignment into the scheduling vector `q` of the paper: each (split)
+//! stream is mapped to a server such that every server's stream set is
+//! zero-jitter feasible and total uplink transmission latency is
+//! minimized (Algorithm 1, line 20's objective
+//! `min Σ_G Σ_{i∈G} bits(r_i) / B_q`).
+
+use crate::group::{group_streams, GroupingError};
+use crate::hungarian::hungarian_min_cost;
+use crate::stream::{split_high_rate, StreamTiming};
+
+/// A complete placement decision.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// Post-split stream timings, in the order referenced by `server_of`.
+    pub streams: Vec<StreamTiming>,
+    /// `server_of[i]` is the server index assigned to `streams[i]`.
+    pub server_of: Vec<usize>,
+    /// Index sets of streams per group, parallel to `group_server`.
+    pub groups: Vec<Vec<usize>>,
+    /// Server chosen for each group.
+    pub group_server: Vec<usize>,
+    /// Total communication latency of the chosen mapping (seconds).
+    pub total_comm_latency: f64,
+}
+
+impl Assignment {
+    /// Streams co-located on `server` (indices into `self.streams`).
+    pub fn streams_on(&self, server: usize) -> Vec<usize> {
+        self.server_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s == server)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Run Algorithm 1: split high-rate streams, group, then assign groups
+/// to servers by Hungarian matching on communication latency.
+///
+/// * `streams` — original (pre-split) stream timings,
+/// * `bits_per_frame[i]` — transmitted bits of one frame of source
+///   stream `i` (resolution-dependent, from `eva-workload`),
+/// * `uplink_bps[j]` — uplink bandwidth of server `j` in bits/second.
+///
+/// The per-group cost on server `j` is
+/// `Σ_{i ∈ G} bits_per_frame[src(i)] / uplink_bps[j]` — each frame's
+/// transmission latency, matching Eq. 5's `θ_bit(r_i)/B_{q_i}` term.
+pub fn assign_groups_to_servers(
+    streams: &[StreamTiming],
+    bits_per_frame: &[f64],
+    uplink_bps: &[f64],
+) -> Result<Assignment, GroupingError> {
+    assert_eq!(
+        streams.len(),
+        bits_per_frame.len(),
+        "assign: bits_per_frame length mismatch"
+    );
+    assert!(
+        uplink_bps.iter().all(|&b| b > 0.0),
+        "assign: non-positive uplink bandwidth"
+    );
+    let n_servers = uplink_bps.len();
+    let split = split_high_rate(streams);
+    let groups = group_streams(&split, n_servers)?;
+
+    if groups.is_empty() {
+        return Ok(Assignment {
+            streams: split,
+            server_of: Vec::new(),
+            groups,
+            group_server: Vec::new(),
+            total_comm_latency: 0.0,
+        });
+    }
+
+    // Cost matrix: group g on server j.
+    let cost: Vec<Vec<f64>> = groups
+        .iter()
+        .map(|g| {
+            let group_bits: f64 = g
+                .iter()
+                .map(|&i| bits_per_frame[split[i].id.source])
+                .sum();
+            uplink_bps.iter().map(|&b| group_bits / b).collect()
+        })
+        .collect();
+    let (group_server, total_comm_latency) = hungarian_min_cost(&cost);
+
+    let mut server_of = vec![usize::MAX; split.len()];
+    for (g, members) in groups.iter().enumerate() {
+        for &i in members {
+            server_of[i] = group_server[g];
+        }
+    }
+    debug_assert!(server_of.iter().all(|&s| s < n_servers));
+
+    Ok(Assignment {
+        streams: split,
+        server_of,
+        groups,
+        group_server,
+        total_comm_latency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{StreamId, TICKS_PER_SEC};
+    use crate::theory::const2_zero_jitter_ok;
+
+    fn st(source: usize, fps: f64, proc_secs: f64) -> StreamTiming {
+        StreamTiming::from_rate(StreamId::source(source), fps, proc_secs)
+    }
+
+    #[test]
+    fn every_server_set_is_zero_jitter() {
+        let streams = vec![
+            st(0, 10.0, 0.03),
+            st(1, 5.0, 0.05),
+            st(2, 20.0, 0.02),
+            st(3, 10.0, 0.04),
+        ];
+        let bits = vec![1e6, 2e6, 0.5e6, 1e6];
+        let uplinks = vec![10e6, 20e6, 30e6];
+        let a = assign_groups_to_servers(&streams, &bits, &uplinks).unwrap();
+        for server in 0..uplinks.len() {
+            let members: Vec<StreamTiming> = a
+                .streams_on(server)
+                .into_iter()
+                .map(|i| a.streams[i])
+                .collect();
+            assert!(const2_zero_jitter_ok(&members), "server {server}");
+        }
+        assert_eq!(a.server_of.len(), a.streams.len());
+    }
+
+    #[test]
+    fn heavy_group_lands_on_fast_uplink() {
+        // One group with huge frames, one with tiny frames; two servers
+        // with very different uplinks. Optimal matching puts the heavy
+        // group on the fast link.
+        let streams = vec![st(0, 10.0, 0.09), st(1, 7.0, 0.09)];
+        // Non-harmonic periods (100 ms vs ~142.9 ms) force two groups.
+        let bits = vec![8e6, 0.1e6];
+        let uplinks = vec![1e6, 100e6]; // slow, fast
+        let a = assign_groups_to_servers(&streams, &bits, &uplinks).unwrap();
+        // Stream 0 (heavy) must sit on server 1 (fast).
+        let heavy_idx = a
+            .streams
+            .iter()
+            .position(|s| s.id.source == 0)
+            .unwrap();
+        assert_eq!(a.server_of[heavy_idx], 1);
+    }
+
+    #[test]
+    fn comm_latency_is_minimal_versus_swap() {
+        let streams = vec![st(0, 10.0, 0.05), st(1, 7.0, 0.05)];
+        let bits = vec![4e6, 1e6];
+        let uplinks = vec![2e6, 8e6];
+        let a = assign_groups_to_servers(&streams, &bits, &uplinks).unwrap();
+        assert_eq!(a.groups.len(), 2);
+        // Cost of chosen mapping vs the swapped mapping.
+        let cost = |g: usize, j: usize| -> f64 {
+            let gb: f64 = a.groups[g]
+                .iter()
+                .map(|&i| bits[a.streams[i].id.source])
+                .sum();
+            gb / uplinks[j]
+        };
+        let chosen = cost(0, a.group_server[0]) + cost(1, a.group_server[1]);
+        let swapped = cost(0, a.group_server[1]) + cost(1, a.group_server[0]);
+        assert!(chosen <= swapped + 1e-12);
+        assert!((a.total_comm_latency - chosen).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_rate_streams_are_split_before_grouping() {
+        // 30 fps, 0.11 s processing: s*p = 3.3 -> 4 substreams.
+        let streams = vec![st(0, 30.0, 0.11)];
+        let bits = vec![1e6];
+        let uplinks = vec![10e6, 10e6, 10e6, 10e6];
+        let a = assign_groups_to_servers(&streams, &bits, &uplinks).unwrap();
+        assert_eq!(a.streams.len(), 4);
+        let base_period = ((TICKS_PER_SEC as f64) / 30.0).round() as Ticks;
+        for s in &a.streams {
+            assert!(s.proc <= s.period);
+            assert_eq!(s.period, 4 * base_period);
+        }
+        // All substreams placed on distinct servers (each uses 0.11 of a
+        // 0.133 s window; two would blow the budget).
+        let mut servers: Vec<usize> = a.server_of.clone();
+        servers.sort_unstable();
+        servers.dedup();
+        assert_eq!(servers.len(), 4);
+    }
+
+    #[test]
+    fn infeasible_when_too_few_servers() {
+        let streams = vec![st(0, 10.0, 0.09), st(1, 7.0, 0.09), st(2, 11.0, 0.09)];
+        let bits = vec![1e6; 3];
+        let uplinks = vec![10e6]; // one server for three mutually unpackable streams
+        assert!(assign_groups_to_servers(&streams, &bits, &uplinks).is_err());
+    }
+
+    #[test]
+    fn empty_streams_yield_empty_assignment() {
+        let a = assign_groups_to_servers(&[], &[], &[10e6]).unwrap();
+        assert!(a.server_of.is_empty());
+        assert_eq!(a.total_comm_latency, 0.0);
+    }
+
+    use crate::stream::Ticks;
+}

@@ -1,0 +1,279 @@
+//! Algorithm 1: group-based heuristic zero-jitter scheduling.
+//!
+//! Streams are sorted by period, prioritized by how many other streams'
+//! periods divide theirs, and greedily packed into at most `N` groups
+//! such that every group satisfies Theorem 3's condition — hence
+//! `Const2`, hence zero delay jitter.
+
+use crate::stream::{StreamTiming, Ticks};
+use crate::theory::theorem3_group_ok;
+
+/// Failure modes of the grouping heuristic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupingError {
+    /// A single stream violates even a solo group (`p > T` after split —
+    /// cannot happen if [`crate::stream::split_high_rate`] ran first).
+    StreamInfeasible { source: usize, part: usize },
+    /// More groups are required than servers are available
+    /// (Algorithm 1, line 16: "No feasible grouping scheme").
+    NotEnoughServers { needed_at_least: usize, available: usize },
+}
+
+impl std::fmt::Display for GroupingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroupingError::StreamInfeasible { source, part } => write!(
+                f,
+                "stream s{source}.{part} cannot satisfy Const2 alone (p > T); split it first"
+            ),
+            GroupingError::NotEnoughServers {
+                needed_at_least,
+                available,
+            } => write!(
+                f,
+                "no feasible grouping: needs > {needed_at_least} groups, only {available} servers"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GroupingError {}
+
+/// Run Algorithm 1's grouping phase (lines 1-19): partition `streams`
+/// into at most `n_servers` groups, each satisfying Theorem 3.
+///
+/// Returns the groups as vectors of indices into `streams`. Groups may
+/// be fewer than `n_servers`; empty groups are not returned.
+///
+/// ```
+/// use eva_sched::{group_streams, StreamId, StreamTiming};
+/// // Two harmonic 10/5 fps streams pack together; a 7 fps stream cannot.
+/// let streams = vec![
+///     StreamTiming::from_rate(StreamId::source(0), 10.0, 0.030),
+///     StreamTiming::from_rate(StreamId::source(1), 5.0, 0.050),
+///     StreamTiming::from_rate(StreamId::source(2), 7.0, 0.050),
+/// ];
+/// let groups = group_streams(&streams, 3).unwrap();
+/// assert_eq!(groups.len(), 2);
+/// ```
+pub fn group_streams(
+    streams: &[StreamTiming],
+    n_servers: usize,
+) -> Result<Vec<Vec<usize>>, GroupingError> {
+    if streams.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Line 1: sort by period ascending (stable; ties keep input order).
+    let mut order: Vec<usize> = (0..streams.len()).collect();
+    order.sort_by_key(|&i| (streams[i].period, i));
+
+    // Line 2: priority I_i = #{ j < i : T_i % T_j == 0 } over the sorted
+    // order — streams whose period is divisible by many earlier (smaller)
+    // periods are *more* compatible and can wait; streams with few
+    // divisors are harder to place and go first.
+    let priorities: Vec<usize> = order
+        .iter()
+        .enumerate()
+        .map(|(pos, &i)| {
+            order[..pos]
+                .iter()
+                .filter(|&&j| streams[i].period.is_multiple_of(streams[j].period))
+                .count()
+        })
+        .collect();
+
+    // Line 3: re-sort by priority ascending (stable, so the period order
+    // is preserved within equal priorities).
+    let mut final_order: Vec<usize> = (0..order.len()).collect();
+    final_order.sort_by_key(|&pos| (priorities[pos], pos));
+    let final_order: Vec<usize> = final_order.into_iter().map(|pos| order[pos]).collect();
+
+    // Lines 4-19: first-fit into groups under the Theorem-3 condition.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for &i in &final_order {
+        let s = streams[i];
+        if s.proc > s.period {
+            return Err(GroupingError::StreamInfeasible {
+                source: s.id.source,
+                part: s.id.part,
+            });
+        }
+        let mut placed = false;
+        for group in groups.iter_mut() {
+            if group_accepts(streams, group, s) {
+                group.push(i);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            if groups.len() == n_servers {
+                return Err(GroupingError::NotEnoughServers {
+                    needed_at_least: n_servers,
+                    available: n_servers,
+                });
+            }
+            groups.push(vec![i]);
+        }
+    }
+
+    // Postcondition: every group satisfies Theorem 3 (and hence Const2).
+    debug_assert!(groups.iter().all(|g| {
+        let members: Vec<StreamTiming> = g.iter().map(|&i| streams[i]).collect();
+        theorem3_group_ok(&members)
+    }));
+    Ok(groups)
+}
+
+/// Theorem-3 admission check for adding `candidate` to `group`.
+///
+/// Slightly more permissive than the paper's literal line 11 (which only
+/// considers `T_new = t * T_min`): we evaluate Theorem 3 on the union, so
+/// a candidate whose period *divides* the group's current minimum is also
+/// admitted when the processing budget fits the new, smaller window. Both
+/// versions are sufficient for Const2; the union check strictly dominates.
+fn group_accepts(streams: &[StreamTiming], group: &[usize], candidate: StreamTiming) -> bool {
+    let t_min_group: Ticks = group
+        .iter()
+        .map(|&i| streams[i].period)
+        .min()
+        .expect("group_accepts called with non-empty group");
+    let t_min = t_min_group.min(candidate.period);
+    // (a) harmonicity w.r.t. the union minimum.
+    let harmonic = candidate.period.is_multiple_of(t_min)
+        && group.iter().all(|&i| streams[i].period.is_multiple_of(t_min));
+    if !harmonic {
+        return false;
+    }
+    // (b) processing budget within the union minimum period.
+    let total: Ticks = group.iter().map(|&i| streams[i].proc).sum::<Ticks>() + candidate.proc;
+    total <= t_min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::StreamId;
+    use crate::theory::const2_zero_jitter_ok;
+
+    fn st(source: usize, period: Ticks, proc: Ticks) -> StreamTiming {
+        StreamTiming::new(StreamId::source(source), period, proc)
+    }
+
+    fn materialize(streams: &[StreamTiming], groups: &[Vec<usize>]) -> Vec<Vec<StreamTiming>> {
+        groups
+            .iter()
+            .map(|g| g.iter().map(|&i| streams[i]).collect())
+            .collect()
+    }
+
+    #[test]
+    fn groups_satisfy_const2() {
+        let streams = vec![
+            st(0, 100_000, 30_000),
+            st(1, 200_000, 40_000),
+            st(2, 100_000, 20_000),
+            st(3, 50_000, 20_000),
+            st(4, 400_000, 10_000),
+        ];
+        let groups = group_streams(&streams, 4).unwrap();
+        for g in materialize(&streams, &groups) {
+            assert!(const2_zero_jitter_ok(&g), "group violates Const2: {g:?}");
+        }
+        // Every stream placed exactly once.
+        let mut seen: Vec<usize> = groups.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..streams.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn harmonic_streams_share_a_group() {
+        // All periods multiples of 100ms, total proc 60ms <= 100ms.
+        let streams = vec![
+            st(0, 100_000, 20_000),
+            st(1, 200_000, 20_000),
+            st(2, 400_000, 20_000),
+        ];
+        let groups = group_streams(&streams, 3).unwrap();
+        assert_eq!(groups.len(), 1, "harmonic set should pack into one group");
+    }
+
+    #[test]
+    fn non_harmonic_streams_split_groups() {
+        // 100ms and 130ms periods: gcd 10ms < procs, must separate.
+        let streams = vec![st(0, 100_000, 50_000), st(1, 130_000, 50_000)];
+        let groups = group_streams(&streams, 2).unwrap();
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn budget_overflow_splits_groups() {
+        // Harmonic but 60+60 > 100.
+        let streams = vec![st(0, 100_000, 60_000), st(1, 100_000, 60_000)];
+        let groups = group_streams(&streams, 2).unwrap();
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn fails_when_servers_exhausted() {
+        let streams = vec![st(0, 100_000, 60_000), st(1, 100_000, 60_000)];
+        let err = group_streams(&streams, 1).unwrap_err();
+        assert!(matches!(err, GroupingError::NotEnoughServers { .. }));
+    }
+
+    #[test]
+    fn rejects_unsplit_high_rate_stream() {
+        let streams = vec![st(0, 100_000, 150_000)];
+        let err = group_streams(&streams, 4).unwrap_err();
+        assert!(matches!(err, GroupingError::StreamInfeasible { .. }));
+    }
+
+    #[test]
+    fn smaller_period_candidate_can_join_when_budget_fits() {
+        // Group starts with T=200ms stream; T=100ms candidate divides it
+        // and total proc 30+20 <= 100ms: the union check admits it.
+        let streams = vec![st(0, 200_000, 30_000), st(1, 100_000, 20_000)];
+        let groups = group_streams(&streams, 2).unwrap();
+        // Regardless of processing order the two must co-locate.
+        assert_eq!(groups.len(), 1);
+        let g = materialize(&streams, &groups);
+        assert!(const2_zero_jitter_ok(&g[0]));
+    }
+
+    #[test]
+    fn empty_input_is_ok() {
+        assert!(group_streams(&[], 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn priority_order_prefers_hard_streams_first() {
+        // A stream with an awkward period (70ms, divides nothing) should
+        // still be placed; compatibility-rich streams fill around it.
+        let streams = vec![
+            st(0, 100_000, 30_000),
+            st(1, 200_000, 30_000),
+            st(2, 70_000, 30_000),
+            st(3, 140_000, 30_000),
+        ];
+        let groups = group_streams(&streams, 4).unwrap();
+        for g in materialize(&streams, &groups) {
+            assert!(const2_zero_jitter_ok(&g));
+        }
+        // The 70/140 pair is harmonic and fits (60 <= 70): expect 2 groups.
+        assert_eq!(groups.len(), 2);
+    }
+
+    /// Deterministic: same input, same grouping.
+    #[test]
+    fn grouping_is_deterministic() {
+        let streams = vec![
+            st(0, 100_000, 25_000),
+            st(1, 300_000, 25_000),
+            st(2, 200_000, 25_000),
+            st(3, 100_000, 25_000),
+        ];
+        let a = group_streams(&streams, 4).unwrap();
+        let b = group_streams(&streams, 4).unwrap();
+        assert_eq!(a, b);
+    }
+}

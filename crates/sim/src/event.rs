@@ -1,0 +1,152 @@
+//! Time-ordered event queue for the DES engine.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use eva_sched::Ticks;
+
+/// Events the engine processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A frame of `stream` finishes its uplink transmission and joins
+    /// the server queue. `gen_time` is when the camera captured it.
+    FrameArrival {
+        /// Index into the simulation's stream table.
+        stream: usize,
+        /// Capture timestamp (ticks).
+        gen_time: Ticks,
+    },
+    /// `server` finishes its current frame and can dequeue the next.
+    ServerDone {
+        /// Server index.
+        server: usize,
+    },
+}
+
+/// An event stamped with its firing time and a tie-breaking sequence
+/// number (FIFO among simultaneous events — determinism matters for
+/// replaying jitter measurements).
+#[derive(Debug, Clone, Copy)]
+struct Scheduled {
+    time: Ticks,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap behaviour in BinaryHeap (max-heap).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-time event queue with deterministic FIFO tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedule `event` at absolute `time`.
+    pub fn push(&mut self, time: Ticks, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Pop the earliest event, returning `(time, event)`.
+    pub fn pop(&mut self) -> Option<(Ticks, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, Event::ServerDone { server: 0 });
+        q.push(10, Event::ServerDone { server: 1 });
+        q.push(20, Event::ServerDone { server: 2 });
+        let order: Vec<Ticks> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.push(
+            5,
+            Event::FrameArrival {
+                stream: 0,
+                gen_time: 0,
+            },
+        );
+        q.push(
+            5,
+            Event::FrameArrival {
+                stream: 1,
+                gen_time: 0,
+            },
+        );
+        q.push(5, Event::ServerDone { server: 9 });
+        let events: Vec<Event> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(
+            events,
+            vec![
+                Event::FrameArrival {
+                    stream: 0,
+                    gen_time: 0
+                },
+                Event::FrameArrival {
+                    stream: 1,
+                    gen_time: 0
+                },
+                Event::ServerDone { server: 9 },
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        q.push(1, Event::ServerDone { server: 0 });
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! Tandem-queue simulation: shared per-server uplinks.
+//!
+//! The paper (and [`crate::des`]) models transmission as a dedicated
+//! per-camera pipe — Eq. 5 charges each frame `θ_bit/B` independently.
+//! Real deployments often funnel several cameras through one radio
+//! link per server, where frames *serialize*. This module extends the
+//! DES with a two-stage tandem queue per server:
+//!
+//! ```text
+//! camera ──> [ uplink FIFO (trans) ] ──> [ CPU FIFO (proc) ] ──> done
+//! ```
+//!
+//! Used by the shared-uplink sensitivity extension and as a
+//! stress-test oracle: with a single stream per server the tandem model
+//! must agree exactly with the dedicated-pipe model.
+
+use std::collections::VecDeque;
+
+use eva_sched::{Ticks, TICKS_PER_SEC};
+use eva_stats::RunningStats;
+
+use crate::des::{SimConfig, SimStream};
+use crate::event::{Event, EventQueue};
+
+/// Per-stream results of a tandem run.
+#[derive(Debug, Clone)]
+pub struct TandemStreamReport {
+    /// End-to-end latency statistics (seconds).
+    pub latency: RunningStats,
+    /// Max − min latency (seconds).
+    pub jitter_s: f64,
+    /// Frames measured post-warmup.
+    pub frames: u64,
+}
+
+/// Whole-run results.
+#[derive(Debug, Clone)]
+pub struct TandemReport {
+    /// Per-stream reports, in input order.
+    pub streams: Vec<TandemStreamReport>,
+    /// Mean latency across measured frames (seconds).
+    pub mean_latency_s: f64,
+    /// Largest per-stream jitter (seconds).
+    pub max_jitter_s: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    stream: usize,
+    gen_time: Ticks,
+}
+
+struct Station {
+    queue: VecDeque<Frame>,
+    busy: bool,
+}
+
+impl Station {
+    fn new() -> Self {
+        Station {
+            queue: VecDeque::new(),
+            busy: false,
+        }
+    }
+}
+
+/// Run the shared-uplink tandem simulation. `stream.phase` is the
+/// *generation* phase (frame `k` is captured at `phase + k·period`);
+/// `stream.trans` is its service time on the shared uplink.
+pub fn simulate_shared_uplink(
+    streams: &[SimStream],
+    n_servers: usize,
+    cfg: &SimConfig,
+) -> TandemReport {
+    assert!(
+        streams.iter().all(|s| s.server < n_servers),
+        "tandem: stream assigned to nonexistent server"
+    );
+    let mut queue = EventQueue::new();
+    // Generation events. We reuse `Event::FrameArrival` as "frame
+    // captured" and encode the pipeline stage in the handler's state.
+    for (i, s) in streams.iter().enumerate() {
+        let mut k: Ticks = 0;
+        loop {
+            let gen = s.phase + k * s.period;
+            if gen >= cfg.horizon {
+                break;
+            }
+            queue.push(
+                gen,
+                Event::FrameArrival {
+                    stream: i,
+                    gen_time: gen,
+                },
+            );
+            k += 1;
+        }
+    }
+
+    let mut links: Vec<Station> = (0..n_servers).map(|_| Station::new()).collect();
+    let mut cpus: Vec<Station> = (0..n_servers).map(|_| Station::new()).collect();
+    // In-flight frame per station: links use even ids, CPUs odd ids in
+    // the ServerDone event's `server` field: link j -> 2j, cpu j -> 2j+1.
+    let mut link_frame: Vec<Option<Frame>> = vec![None; n_servers];
+    let mut cpu_frame: Vec<Option<Frame>> = vec![None; n_servers];
+
+    let mut stats: Vec<RunningStats> = streams.iter().map(|_| RunningStats::new()).collect();
+    let mut counts = vec![0u64; streams.len()];
+    let mut total = RunningStats::new();
+
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::FrameArrival { stream, gen_time } => {
+                // Captured: join the uplink FIFO of its server.
+                let sv = streams[stream].server;
+                links[sv].queue.push_back(Frame { stream, gen_time });
+                if !links[sv].busy {
+                    start_link(sv, now, streams, &mut links, &mut link_frame, &mut queue);
+                }
+            }
+            Event::ServerDone { server } => {
+                let sv = server / 2;
+                if server % 2 == 0 {
+                    // Uplink finished: frame moves to the CPU FIFO.
+                    let frame = link_frame[sv].take().expect("link done without frame");
+                    links[sv].busy = false;
+                    cpus[sv].queue.push_back(frame);
+                    if !cpus[sv].busy {
+                        start_cpu(sv, now, streams, &mut cpus, &mut cpu_frame, &mut queue);
+                    }
+                    if !links[sv].queue.is_empty() {
+                        start_link(sv, now, streams, &mut links, &mut link_frame, &mut queue);
+                    }
+                } else {
+                    // CPU finished: frame completes.
+                    let frame = cpu_frame[sv].take().expect("cpu done without frame");
+                    cpus[sv].busy = false;
+                    if frame.gen_time >= cfg.warmup {
+                        let lat = (now - frame.gen_time) as f64 / TICKS_PER_SEC as f64;
+                        stats[frame.stream].push(lat);
+                        counts[frame.stream] += 1;
+                        total.push(lat);
+                    }
+                    if !cpus[sv].queue.is_empty() {
+                        start_cpu(sv, now, streams, &mut cpus, &mut cpu_frame, &mut queue);
+                    }
+                }
+            }
+        }
+    }
+
+    let reports: Vec<TandemStreamReport> = stats
+        .iter()
+        .zip(&counts)
+        .map(|(s, &frames)| TandemStreamReport {
+            latency: s.clone(),
+            jitter_s: s.range(),
+            frames,
+        })
+        .collect();
+    let max_jitter_s = reports.iter().map(|r| r.jitter_s).fold(0.0, f64::max);
+    TandemReport {
+        streams: reports,
+        mean_latency_s: total.mean(),
+        max_jitter_s,
+    }
+}
+
+fn start_link(
+    sv: usize,
+    now: Ticks,
+    streams: &[SimStream],
+    links: &mut [Station],
+    link_frame: &mut [Option<Frame>],
+    queue: &mut EventQueue,
+) {
+    let frame = links[sv].queue.pop_front().expect("start_link: empty");
+    links[sv].busy = true;
+    let trans = streams[frame.stream].trans.max(1);
+    link_frame[sv] = Some(frame);
+    queue.push(now + trans, Event::ServerDone { server: 2 * sv });
+}
+
+fn start_cpu(
+    sv: usize,
+    now: Ticks,
+    streams: &[SimStream],
+    cpus: &mut [Station],
+    cpu_frame: &mut [Option<Frame>],
+    queue: &mut EventQueue,
+) {
+    let frame = cpus[sv].queue.pop_front().expect("start_cpu: empty");
+    cpus[sv].busy = true;
+    let proc = streams[frame.stream].proc;
+    cpu_frame[sv] = Some(frame);
+    queue.push(now + proc, Event::ServerDone { server: 2 * sv + 1 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_sched::StreamId;
+
+    fn stream(
+        source: usize,
+        period: Ticks,
+        proc: Ticks,
+        trans: Ticks,
+        server: usize,
+        phase: Ticks,
+    ) -> SimStream {
+        SimStream {
+            id: StreamId::source(source),
+            period,
+            proc,
+            trans,
+            server,
+            phase,
+        }
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            horizon: 10 * TICKS_PER_SEC,
+            warmup: TICKS_PER_SEC,
+            deadline: 0,
+        }
+    }
+
+    #[test]
+    fn single_stream_matches_dedicated_model() {
+        // One stream: the shared link never contends, so latency is
+        // exactly trans + proc — identical to the dedicated-pipe DES.
+        let s = stream(0, 100_000, 20_000, 5_000, 0, 0);
+        let tandem = simulate_shared_uplink(&[s], 1, &cfg());
+        assert!((tandem.streams[0].latency.mean() - 0.025).abs() < 1e-9);
+        assert_eq!(tandem.streams[0].jitter_s, 0.0);
+    }
+
+    #[test]
+    fn shared_link_serializes_simultaneous_frames() {
+        // Two synchronized streams share one uplink with 10ms frames:
+        // the second frame waits 10ms on the link every period.
+        let a = stream(0, 100_000, 5_000, 10_000, 0, 0);
+        let b = stream(1, 100_000, 5_000, 10_000, 0, 0);
+        let r = simulate_shared_uplink(&[a, b], 1, &cfg());
+        let lats: Vec<f64> = r.streams.iter().map(|s| s.latency.mean()).collect();
+        // One stream sees 15ms (10 trans + 5 proc), the other also
+        // queues 10ms on the link (25ms) and possibly 5ms on cpu.
+        let fast = lats.iter().cloned().fold(f64::INFINITY, f64::min);
+        let slow = lats.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!((fast - 0.015).abs() < 1e-9, "fast {fast}");
+        assert!(slow >= 0.025 - 1e-9, "slow {slow}");
+    }
+
+    #[test]
+    fn dedicated_model_underestimates_shared_contention() {
+        // Three bursty streams on one uplink: the tandem latency must
+        // exceed the dedicated model's trans+proc lower bound.
+        let streams: Vec<SimStream> = (0..3)
+            .map(|i| stream(i, 100_000, 10_000, 20_000, 0, 0))
+            .collect();
+        let r = simulate_shared_uplink(&streams, 1, &cfg());
+        let dedicated_bound = 0.020 + 0.010;
+        let worst = r
+            .streams
+            .iter()
+            .map(|s| s.latency.mean())
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            worst > dedicated_bound + 0.01,
+            "no serialization visible: {worst}"
+        );
+    }
+
+    #[test]
+    fn overloaded_shared_link_accumulates() {
+        // Link demand 2x capacity: latency grows unboundedly.
+        let a = stream(0, 100_000, 1_000, 100_000, 0, 0);
+        let b = stream(1, 100_000, 1_000, 100_000, 0, 0);
+        let r = simulate_shared_uplink(&[a, b], 1, &cfg());
+        assert!(r.max_jitter_s > 1.0, "jitter {}", r.max_jitter_s);
+    }
+
+    #[test]
+    fn distinct_servers_do_not_share_links() {
+        let a = stream(0, 100_000, 5_000, 50_000, 0, 0);
+        let b = stream(1, 100_000, 5_000, 50_000, 1, 0);
+        let r = simulate_shared_uplink(&[a, b], 2, &cfg());
+        for s in &r.streams {
+            assert!((s.latency.mean() - 0.055).abs() < 1e-9);
+            assert_eq!(s.jitter_s, 0.0);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Bootstrap confidence intervals for experiment reporting.
+//!
+//! The evaluation tables report means over a handful of repetitions;
+//! percentile-bootstrap intervals make the spread visible without
+//! distributional assumptions (3-10 reps is far too few for normal
+//! approximations on benefit distributions with feasibility cliffs).
+
+use rand::Rng;
+
+/// A percentile bootstrap confidence interval for the mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Sample mean of the data.
+    pub mean: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+}
+
+/// Percentile bootstrap CI for the mean of `data` at the given
+/// `confidence` (e.g. 0.95), using `resamples` bootstrap replicates.
+///
+/// # Panics
+/// Panics on empty data, non-finite values, or confidence outside (0,1).
+pub fn bootstrap_mean_ci<R: Rng + ?Sized>(
+    data: &[f64],
+    confidence: f64,
+    resamples: usize,
+    rng: &mut R,
+) -> BootstrapCi {
+    assert!(!data.is_empty(), "bootstrap: empty data");
+    assert!(
+        data.iter().all(|v| v.is_finite()),
+        "bootstrap: non-finite data"
+    );
+    assert!(
+        (0.0..1.0).contains(&confidence) && confidence > 0.0,
+        "bootstrap: bad confidence {confidence}"
+    );
+    assert!(resamples >= 10, "bootstrap: too few resamples");
+
+    let n = data.len();
+    let mean = data.iter().sum::<f64>() / n as f64;
+    if n == 1 {
+        return BootstrapCi {
+            mean,
+            lo: mean,
+            hi: mean,
+        };
+    }
+    let mut means: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let mut total = 0.0;
+            for _ in 0..n {
+                total += data[rng.gen_range(0..n)];
+            }
+            total / n as f64
+        })
+        .collect();
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((resamples as f64) * alpha).floor() as usize;
+    let hi_idx = (((resamples as f64) * (1.0 - alpha)).ceil() as usize).min(resamples - 1);
+    BootstrapCi {
+        mean,
+        lo: means[lo_idx],
+        hi: means[hi_idx],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn ci_brackets_the_mean() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ci = bootstrap_mean_ci(&data, 0.95, 2000, &mut seeded(1));
+        assert!((ci.mean - 3.0).abs() < 1e-12);
+        assert!(ci.lo <= ci.mean && ci.mean <= ci.hi);
+        assert!(ci.lo >= 1.0 && ci.hi <= 5.0);
+    }
+
+    #[test]
+    fn ci_width_shrinks_with_sample_size() {
+        let mut rng = seeded(2);
+        let small: Vec<f64> = (0..10).map(|_| crate::rng::standard_normal(&mut rng)).collect();
+        let large: Vec<f64> = (0..1000).map(|_| crate::rng::standard_normal(&mut rng)).collect();
+        let ci_s = bootstrap_mean_ci(&small, 0.95, 1000, &mut seeded(3));
+        let ci_l = bootstrap_mean_ci(&large, 0.95, 1000, &mut seeded(3));
+        assert!(ci_l.hi - ci_l.lo < ci_s.hi - ci_s.lo);
+    }
+
+    #[test]
+    fn ci_coverage_approximately_nominal() {
+        // Over many synthetic datasets with known mean 0, a 90% CI
+        // should contain 0 roughly 90% of the time.
+        let mut hits = 0;
+        let trials = 200;
+        for t in 0..trials {
+            let mut rng = seeded(100 + t);
+            let data: Vec<f64> = (0..25).map(|_| crate::rng::standard_normal(&mut rng)).collect();
+            let ci = bootstrap_mean_ci(&data, 0.90, 500, &mut rng);
+            if ci.lo <= 0.0 && 0.0 <= ci.hi {
+                hits += 1;
+            }
+        }
+        let coverage = hits as f64 / trials as f64;
+        assert!(
+            (0.80..=0.97).contains(&coverage),
+            "coverage {coverage} far from nominal 0.90"
+        );
+    }
+
+    #[test]
+    fn singleton_data_degenerates_gracefully() {
+        let ci = bootstrap_mean_ci(&[42.0], 0.95, 100, &mut seeded(4));
+        assert_eq!(ci.mean, 42.0);
+        assert_eq!(ci.lo, 42.0);
+        assert_eq!(ci.hi, 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data")]
+    fn rejects_empty() {
+        let _ = bootstrap_mean_ci(&[], 0.95, 100, &mut seeded(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        let _ = bootstrap_mean_ci(&[1.0, f64::NAN], 0.95, 100, &mut seeded(6));
+    }
+}

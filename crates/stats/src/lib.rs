@@ -1,0 +1,26 @@
+//! Statistical primitives for the PaMO reproduction.
+//!
+//! * [`normal`] — standard-normal pdf/cdf/quantile and `erf`, needed by
+//!   the probit preference likelihood (paper Eq. 9) and the analytic
+//!   expected-improvement terms,
+//! * [`rng`] — seeded RNG plumbing and Gaussian sampling (Box-Muller),
+//! * [`design`] — space-filling initial designs (Latin hypercube, Halton,
+//!   Sobol) for Bayesian-optimization warm starts,
+//! * [`metrics`] — R², RMSE, min-max normalization (paper Sec. 5.3 uses
+//!   the coefficient of determination for outcome-model quality),
+//! * [`weights`] — the classical fixed-weight schemes the paper contrasts
+//!   against (Equal, Rank-Order-Centroid, Rank-Sum),
+//! * [`running`] — Welford online moments for simulator accounting.
+
+pub mod bootstrap;
+pub mod design;
+pub mod metrics;
+pub mod normal;
+pub mod rng;
+pub mod running;
+pub mod weights;
+
+pub use bootstrap::{bootstrap_mean_ci, BootstrapCi};
+pub use metrics::{mae, r_squared, rmse, MinMaxNormalizer};
+pub use normal::{erf, norm_cdf, norm_pdf, norm_quantile};
+pub use running::RunningStats;

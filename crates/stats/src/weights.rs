@@ -1,0 +1,143 @@
+//! Classical fixed-weight schemes for multi-objective scalarization.
+//!
+//! The paper (Sec. 1, Sec. 6) contrasts preference *learning* against the
+//! standard weight definitions from the multi-objective literature
+//! (Gunantara 2018): Equal weights, Rank-Order-Centroid (ROC), Rank-Sum
+//! (RS) and Pseudo weights. We implement them both as baselines and as
+//! test oracles for the preference model.
+
+/// Equal weights: `w_i = 1/k`.
+pub fn equal(k: usize) -> Vec<f64> {
+    assert!(k > 0, "equal: k must be positive");
+    vec![1.0 / k as f64; k]
+}
+
+/// Rank-Order-Centroid weights for objectives ranked `1..=k` (rank 1 is
+/// most important): `w_i = (1/k) * sum_{j=i}^{k} 1/j`.
+pub fn rank_order_centroid(k: usize) -> Vec<f64> {
+    assert!(k > 0, "rank_order_centroid: k must be positive");
+    (1..=k)
+        .map(|i| (i..=k).map(|j| 1.0 / j as f64).sum::<f64>() / k as f64)
+        .collect()
+}
+
+/// Rank-Sum weights: `w_i = 2(k + 1 - i) / (k (k + 1))`.
+pub fn rank_sum(k: usize) -> Vec<f64> {
+    assert!(k > 0, "rank_sum: k must be positive");
+    let denom = (k * (k + 1)) as f64;
+    (1..=k)
+        .map(|i| 2.0 * (k + 1 - i) as f64 / denom)
+        .collect()
+}
+
+/// Pseudo-weights for a Pareto-front point `y` relative to per-objective
+/// ideal (min) and nadir (max) outcomes, all objectives minimized:
+/// `w_i = d_i / Σ d_j` with `d_i = (nadir_i - y_i)/(nadir_i - ideal_i)`.
+pub fn pseudo(y: &[f64], ideal: &[f64], nadir: &[f64]) -> Vec<f64> {
+    assert!(
+        y.len() == ideal.len() && y.len() == nadir.len(),
+        "pseudo: length mismatch"
+    );
+    let d: Vec<f64> = y
+        .iter()
+        .zip(ideal)
+        .zip(nadir)
+        .map(|((&yi, &ii), &ni)| {
+            let span = ni - ii;
+            if span <= 0.0 {
+                0.0
+            } else {
+                ((ni - yi) / span).clamp(0.0, 1.0)
+            }
+        })
+        .collect();
+    let total: f64 = d.iter().sum();
+    if total <= 0.0 {
+        return equal(y.len());
+    }
+    d.into_iter().map(|di| di / total).collect()
+}
+
+/// Reorder a weight vector computed for importance ranks so that entry
+/// `order[i]` receives the rank-`i+1` weight.
+pub fn apply_ranking(rank_weights: &[f64], order: &[usize]) -> Vec<f64> {
+    assert_eq!(rank_weights.len(), order.len(), "apply_ranking: length mismatch");
+    let mut out = vec![0.0; order.len()];
+    for (rank, &obj) in order.iter().enumerate() {
+        out[obj] = rank_weights[rank];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sums_to_one(w: &[f64]) -> bool {
+        (w.iter().sum::<f64>() - 1.0).abs() < 1e-12
+    }
+
+    #[test]
+    fn equal_weights() {
+        let w = equal(5);
+        assert!(sums_to_one(&w));
+        assert!(w.iter().all(|&x| (x - 0.2).abs() < 1e-15));
+    }
+
+    #[test]
+    fn roc_known_values_k3() {
+        // k=3: w1 = (1 + 1/2 + 1/3)/3, w2 = (1/2 + 1/3)/3, w3 = (1/3)/3
+        let w = rank_order_centroid(3);
+        assert!((w[0] - 11.0 / 18.0).abs() < 1e-12);
+        assert!((w[1] - 5.0 / 18.0).abs() < 1e-12);
+        assert!((w[2] - 2.0 / 18.0).abs() < 1e-12);
+        assert!(sums_to_one(&w));
+    }
+
+    #[test]
+    fn rank_sum_known_values_k4() {
+        // k=4: weights 8/20, 6/20, 4/20, 2/20
+        let w = rank_sum(4);
+        assert_eq!(w, vec![0.4, 0.3, 0.2, 0.1]);
+        assert!(sums_to_one(&w));
+    }
+
+    #[test]
+    fn weights_decreasing_in_rank() {
+        for k in 1..8 {
+            for w in [rank_order_centroid(k), rank_sum(k)] {
+                assert!(sums_to_one(&w));
+                assert!(w.windows(2).all(|p| p[0] >= p[1]), "not decreasing: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pseudo_weights_reward_closeness_to_ideal() {
+        let ideal = [0.0, 0.0];
+        let nadir = [1.0, 1.0];
+        // Point excellent on objective 0, poor on objective 1.
+        let w = pseudo(&[0.1, 0.9], &ideal, &nadir);
+        assert!(sums_to_one(&w));
+        assert!(w[0] > w[1]);
+        // Symmetric point gives equal weights.
+        let we = pseudo(&[0.5, 0.5], &ideal, &nadir);
+        assert!((we[0] - we[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pseudo_degenerate_falls_back_to_equal() {
+        let w = pseudo(&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]);
+        assert_eq!(w, equal(2));
+    }
+
+    #[test]
+    fn ranking_permutes_weights() {
+        let rank_w = rank_sum(3); // [1/2, 1/3, 1/6]
+        // Objective 2 is most important, then 0, then 1.
+        let w = apply_ranking(&rank_w, &[2, 0, 1]);
+        assert_eq!(w[2], rank_w[0]);
+        assert_eq!(w[0], rank_w[1]);
+        assert_eq!(w[1], rank_w[2]);
+    }
+}

@@ -1,0 +1,151 @@
+//! The MOT16-like clip library.
+//!
+//! Fig. 2 shows that different clips "exhibit a consistent pattern of
+//! change in accordance with the configuration adjustments" — same
+//! surface family, clip-specific scale. We model a clip as four content
+//! factors multiplying the shared surfaces in [`crate::surfaces`].
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-clip content factors (all multiplicative, 1.0 = reference clip).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClipProfile {
+    /// Human-readable name (e.g. "MOT16-02").
+    pub name: String,
+    /// Scales peak detection accuracy (crowded scenes are harder).
+    pub accuracy_scale: f64,
+    /// Scales per-frame processing time (busy frames decode/NMS slower).
+    pub complexity: f64,
+    /// Scales encoded frame size (texture/motion hurt compression).
+    pub bitrate_factor: f64,
+    /// Scene dynamics: higher motion makes low frame rates lose more
+    /// accuracy (steeper ε_acc in `s`).
+    pub motion: f64,
+}
+
+impl ClipProfile {
+    /// Construct and validate a clip profile.
+    pub fn new(
+        name: impl Into<String>,
+        accuracy_scale: f64,
+        complexity: f64,
+        bitrate_factor: f64,
+        motion: f64,
+    ) -> Self {
+        assert!(
+            accuracy_scale > 0.0 && accuracy_scale <= 1.2,
+            "accuracy_scale out of range"
+        );
+        assert!(complexity > 0.0, "complexity must be positive");
+        assert!(bitrate_factor > 0.0, "bitrate_factor must be positive");
+        assert!((0.0..=2.0).contains(&motion), "motion out of range");
+        ClipProfile {
+            name: name.into(),
+            accuracy_scale,
+            complexity,
+            bitrate_factor,
+            motion,
+        }
+    }
+
+    /// The neutral reference clip (all factors 1).
+    pub fn reference() -> Self {
+        ClipProfile::new("reference", 1.0, 1.0, 1.0, 1.0)
+    }
+
+    /// A random plausible clip (used to emulate "more videos" in the
+    /// Fig. 7 scaling experiments, as the paper does with trace data).
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, index: usize) -> Self {
+        ClipProfile::new(
+            format!("synth-{index:02}"),
+            rng.gen_range(0.82..1.05),
+            rng.gen_range(0.85..1.20),
+            rng.gen_range(0.80..1.30),
+            rng.gen_range(0.6..1.6),
+        )
+    }
+}
+
+/// A small library of fixed clip profiles named after the MOT16 training
+/// sequences the paper draws from. Factors are hand-set to span the
+/// plausible content range: MOT16-04 (elevated, static, dense crowd) is
+/// hard + low motion; MOT16-05 (moving platform, sparse) is easy + high
+/// motion; etc.
+pub fn mot16_library() -> Vec<ClipProfile> {
+    vec![
+        ClipProfile::new("MOT16-02", 0.95, 1.05, 1.10, 0.9),
+        ClipProfile::new("MOT16-04", 0.88, 1.15, 1.20, 0.7),
+        ClipProfile::new("MOT16-05", 1.02, 0.90, 0.85, 1.4),
+        ClipProfile::new("MOT16-09", 0.97, 1.00, 1.00, 1.0),
+        ClipProfile::new("MOT16-10", 0.92, 1.08, 1.15, 1.3),
+        ClipProfile::new("MOT16-11", 1.00, 0.95, 0.95, 1.1),
+        ClipProfile::new("MOT16-13", 0.90, 1.10, 1.05, 1.5),
+    ]
+}
+
+/// Cycle the MOT16 library out to `n` clips, appending seeded random
+/// clips beyond the library size (deterministic in `seed`).
+pub fn clip_set(n: usize, seed: u64) -> Vec<ClipProfile> {
+    let lib = mot16_library();
+    let mut rng = eva_stats::rng::seeded(seed);
+    (0..n)
+        .map(|i| {
+            if i < lib.len() {
+                lib[i].clone()
+            } else {
+                ClipProfile::random(&mut rng, i)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_names_are_unique() {
+        let lib = mot16_library();
+        let mut names: Vec<&str> = lib.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), lib.len());
+    }
+
+    #[test]
+    fn library_factors_in_plausible_ranges() {
+        for c in mot16_library() {
+            assert!((0.8..=1.1).contains(&c.accuracy_scale), "{}", c.name);
+            assert!((0.8..=1.3).contains(&c.complexity), "{}", c.name);
+            assert!((0.7..=1.4).contains(&c.bitrate_factor), "{}", c.name);
+            assert!((0.5..=1.6).contains(&c.motion), "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn clip_set_is_deterministic_and_extends() {
+        let a = clip_set(12, 5);
+        let b = clip_set(12, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12);
+        assert_eq!(a[0].name, "MOT16-02");
+        assert!(a[10].name.starts_with("synth-"));
+        let c = clip_set(12, 6);
+        assert_ne!(a, c, "different seed should change synthetic clips");
+    }
+
+    #[test]
+    fn random_clips_vary() {
+        let mut rng = eva_stats::rng::seeded(1);
+        let a = ClipProfile::random(&mut rng, 0);
+        let b = ClipProfile::random(&mut rng, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "accuracy_scale")]
+    fn rejects_excess_accuracy() {
+        let _ = ClipProfile::new("bad", 1.5, 1.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Heterogeneous clusters, virtualized to the homogeneous model.
+//!
+//! Sec. 3 assumes equal-power servers but notes that "heterogeneous
+//! servers can be virtualized as multiple homogeneous VMs or
+//! containers". This module performs exactly that reduction: a physical
+//! server with `speed = s` (in units of the reference server the
+//! [`crate::surfaces`] processing times are calibrated to) becomes
+//! `floor(s)` unit-speed VMs, its uplink shared evenly among them. The
+//! resulting VM list plugs straight into [`crate::Scenario`] and the
+//! zero-jitter scheduler; [`Virtualization::physical_of`] maps
+//! placements back to hardware.
+
+use crate::clip::ClipProfile;
+use crate::config::ConfigSpace;
+use crate::scenario::Scenario;
+
+/// One physical edge server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalServer {
+    /// Human-readable name ("jetson-nx-0", "xeon-rack-2", …).
+    pub name: String,
+    /// Compute speed relative to the reference (unit) server.
+    pub speed: f64,
+    /// Uplink bandwidth of the physical box (bits/s).
+    pub uplink_bps: f64,
+}
+
+impl PhysicalServer {
+    /// Construct and validate.
+    pub fn new(name: impl Into<String>, speed: f64, uplink_bps: f64) -> Self {
+        assert!(speed > 0.0, "PhysicalServer: non-positive speed");
+        assert!(uplink_bps > 0.0, "PhysicalServer: non-positive uplink");
+        PhysicalServer {
+            name: name.into(),
+            speed,
+            uplink_bps,
+        }
+    }
+}
+
+/// The result of slicing physical servers into unit VMs.
+#[derive(Debug, Clone)]
+pub struct Virtualization {
+    /// Physical-server index backing each VM.
+    vm_physical: Vec<usize>,
+    /// Per-VM uplink share (bits/s).
+    vm_uplinks: Vec<f64>,
+    /// Physical servers too slow to host even one unit VM (excluded).
+    pub skipped: Vec<usize>,
+}
+
+impl Virtualization {
+    /// Slice a cluster into unit-speed VMs. Servers with `speed < 1`
+    /// yield no VM and are reported in `skipped`.
+    pub fn new(servers: &[PhysicalServer]) -> Self {
+        assert!(!servers.is_empty(), "Virtualization: empty cluster");
+        let mut vm_physical = Vec::new();
+        let mut vm_uplinks = Vec::new();
+        let mut skipped = Vec::new();
+        for (p, server) in servers.iter().enumerate() {
+            let n_vms = server.speed.floor() as usize;
+            if n_vms == 0 {
+                skipped.push(p);
+                continue;
+            }
+            let share = server.uplink_bps / n_vms as f64;
+            for _ in 0..n_vms {
+                vm_physical.push(p);
+                vm_uplinks.push(share);
+            }
+        }
+        Virtualization {
+            vm_physical,
+            vm_uplinks,
+            skipped,
+        }
+    }
+
+    /// Number of unit VMs produced.
+    pub fn n_vms(&self) -> usize {
+        self.vm_physical.len()
+    }
+
+    /// Per-VM uplink bandwidths — the `uplink_bps` input for
+    /// [`Scenario::new`].
+    pub fn vm_uplinks(&self) -> &[f64] {
+        &self.vm_uplinks
+    }
+
+    /// The physical server backing VM `vm`.
+    pub fn physical_of(&self, vm: usize) -> usize {
+        self.vm_physical[vm]
+    }
+
+    /// Map a per-VM placement (`server_of[i]` = VM index) back to
+    /// physical servers.
+    pub fn map_placement(&self, vm_placement: &[usize]) -> Vec<usize> {
+        vm_placement
+            .iter()
+            .map(|&vm| self.physical_of(vm))
+            .collect()
+    }
+
+    /// Build a scenario over the virtualized cluster.
+    pub fn to_scenario(&self, clips: Vec<ClipProfile>, space: ConfigSpace) -> Scenario {
+        assert!(
+            self.n_vms() > 0,
+            "to_scenario: cluster virtualized to zero VMs"
+        );
+        Scenario::new(clips, self.vm_uplinks.clone(), space)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clip::clip_set;
+    use crate::config::VideoConfig;
+
+    fn cluster() -> Vec<PhysicalServer> {
+        vec![
+            PhysicalServer::new("edge-small", 1.0, 10e6),
+            PhysicalServer::new("edge-medium", 2.4, 24e6),
+            PhysicalServer::new("edge-big", 3.0, 30e6),
+        ]
+    }
+
+    #[test]
+    fn slices_floor_of_speed() {
+        let v = Virtualization::new(&cluster());
+        // 1 + 2 + 3 = 6 VMs (2.4 floors to 2).
+        assert_eq!(v.n_vms(), 6);
+        assert!(v.skipped.is_empty());
+    }
+
+    #[test]
+    fn uplinks_are_shared_evenly() {
+        let v = Virtualization::new(&cluster());
+        // edge-medium: 24 Mbps over 2 VMs = 12 each.
+        let medium_vms: Vec<f64> = (0..v.n_vms())
+            .filter(|&i| v.physical_of(i) == 1)
+            .map(|i| v.vm_uplinks()[i])
+            .collect();
+        assert_eq!(medium_vms, vec![12e6, 12e6]);
+        // Total uplink is conserved (no skipped servers).
+        let total: f64 = v.vm_uplinks().iter().sum();
+        assert!((total - 64e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn slow_servers_are_skipped() {
+        let servers = vec![
+            PhysicalServer::new("tiny", 0.4, 5e6),
+            PhysicalServer::new("ok", 1.2, 10e6),
+        ];
+        let v = Virtualization::new(&servers);
+        assert_eq!(v.n_vms(), 1);
+        assert_eq!(v.skipped, vec![0]);
+        assert_eq!(v.physical_of(0), 1);
+    }
+
+    #[test]
+    fn placement_maps_back_to_hardware() {
+        let v = Virtualization::new(&cluster());
+        // VMs in order: [small, medium, medium, big, big, big].
+        let physical = v.map_placement(&[0, 2, 5, 3]);
+        assert_eq!(physical, vec![0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn virtualized_scenario_schedules_end_to_end() {
+        let v = Virtualization::new(&cluster());
+        let sc = v.to_scenario(clip_set(4, 7), ConfigSpace::default());
+        assert_eq!(sc.n_servers(), 6);
+        let configs = vec![VideoConfig::new(480.0, 5.0); 4];
+        let so = sc.evaluate(&configs).expect("schedulable on 6 VMs");
+        // Map the zero-jitter placement back to physical boxes.
+        let vm_placement: Vec<usize> = so.assignment.server_of.clone();
+        let hw = v.map_placement(&vm_placement);
+        assert!(hw.iter().all(|&p| p < 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cluster")]
+    fn rejects_empty_cluster() {
+        let _ = Virtualization::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive speed")]
+    fn rejects_bad_speed() {
+        let _ = PhysicalServer::new("bad", 0.0, 1e6);
+    }
+}

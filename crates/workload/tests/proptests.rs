@@ -1,0 +1,94 @@
+//! Property tests for the workload substrate's physical invariants.
+
+use eva_workload::{clip::clip_set, ClipProfile, ConfigSpace, Scenario, SurfaceModel, VideoConfig};
+use proptest::prelude::*;
+
+fn clip_strategy() -> impl Strategy<Value = ClipProfile> {
+    (0.82f64..1.05, 0.86f64..1.2, 0.8f64..1.3, 0.6f64..1.6).prop_map(|(a, c, b, m)| {
+        ClipProfile::new("prop", a, c, b, m)
+    })
+}
+
+fn config_strategy() -> impl Strategy<Value = VideoConfig> {
+    (0usize..9, 0usize..8).prop_map(|(ri, fi)| ConfigSpace::default().at(ri * 8 + fi))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// All outcomes are physical: positive resources, mAP in [0,1].
+    #[test]
+    fn outcomes_are_physical(clip in clip_strategy(), c in config_strategy(),
+                             uplink_mbps in 1.0f64..100.0) {
+        let m = SurfaceModel::new(clip);
+        prop_assert!((0.0..=1.0).contains(&m.accuracy(&c)));
+        prop_assert!(m.bandwidth_bps(&c) > 0.0);
+        prop_assert!(m.compute_tflops(&c) > 0.0);
+        prop_assert!(m.power_w(&c) > 0.0);
+        prop_assert!(m.e2e_latency_secs(&c, uplink_mbps * 1e6) > 0.0);
+    }
+
+    /// Monotonicity in the knobs: more pixels/frames never reduce
+    /// resource use, never reduce accuracy.
+    #[test]
+    fn knob_monotonicity(clip in clip_strategy(),
+                         ri in 0usize..8, fi in 0usize..7) {
+        let space = ConfigSpace::default();
+        let m = SurfaceModel::new(clip);
+        let c = space.at(ri * 8 + fi);
+        let c_res = VideoConfig::new(space.resolutions()[ri + 1], c.fps);
+        let c_fps = VideoConfig::new(c.resolution, space.frame_rates()[fi + 1]);
+        // Resolution up:
+        prop_assert!(m.accuracy(&c_res) >= m.accuracy(&c));
+        prop_assert!(m.bandwidth_bps(&c_res) > m.bandwidth_bps(&c));
+        prop_assert!(m.compute_tflops(&c_res) > m.compute_tflops(&c));
+        prop_assert!(m.power_w(&c_res) > m.power_w(&c));
+        // Frame rate up:
+        prop_assert!(m.accuracy(&c_fps) >= m.accuracy(&c));
+        prop_assert!(m.bandwidth_bps(&c_fps) > m.bandwidth_bps(&c));
+        prop_assert!(m.power_w(&c_fps) > m.power_w(&c));
+        // Uncontended latency is fps-independent (Sec. 2.2).
+        prop_assert!((m.e2e_latency_secs(&c_fps, 20e6)
+            - m.e2e_latency_secs(&c, 20e6)).abs() < 1e-12);
+    }
+
+    /// Scenario aggregates equal the sum/mean of per-stream outcomes.
+    #[test]
+    fn aggregate_consistency(seed in 0u64..200) {
+        let sc = Scenario::uniform(3, 3, 20e6, seed);
+        let configs = vec![
+            VideoConfig::new(480.0, 5.0),
+            VideoConfig::new(600.0, 2.0),
+            VideoConfig::new(360.0, 10.0),
+        ];
+        if let Ok(so) = sc.evaluate(&configs) {
+            let net: f64 = (0..3).map(|i| sc.surfaces(i).bandwidth_bps(&configs[i])).sum();
+            let acc: f64 = (0..3).map(|i| sc.surfaces(i).accuracy(&configs[i])).sum::<f64>() / 3.0;
+            prop_assert!((so.outcome.network_bps - net).abs() < 1e-6);
+            prop_assert!((so.outcome.accuracy - acc).abs() < 1e-9);
+        }
+    }
+
+    /// Cost bounds contain every feasible uniform-config outcome.
+    #[test]
+    fn cost_bounds_are_valid_envelopes(seed in 0u64..50, knob in 0usize..30) {
+        let sc = Scenario::uniform(3, 3, 20e6, seed);
+        let bounds = sc.cost_bounds();
+        let c = sc.config_space().at(knob); // lower half of the grid
+        if let Ok(so) = sc.evaluate(&[c; 3]) {
+            for (d, &v) in so.outcome.to_cost_vec().iter().enumerate() {
+                prop_assert!(v >= bounds[d].0 - 1e-9, "obj {d} below min");
+                prop_assert!(v <= bounds[d].1 + 1e-9, "obj {d} above max");
+            }
+        }
+    }
+
+    /// Clip sets are deterministic in the seed and unique in names.
+    #[test]
+    fn clip_sets_deterministic(n in 1usize..20, seed in 0u64..100) {
+        let a = clip_set(n, seed);
+        let b = clip_set(n, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), n);
+    }
+}

@@ -1,0 +1,47 @@
+//! Online scheduling under content drift: the deployed-loop view of
+//! Sec. 2.1 ("the scheduler periodically collects ... and adjusts").
+//! PaMO re-optimizes every epoch while the camera contents drift; the
+//! frozen epoch-0 decision decays.
+//!
+//! ```text
+//! cargo run --release --example online_adaptation
+//! ```
+
+use pamo::core::{run_online, PamoConfig, PreferenceSource};
+use pamo::prelude::*;
+use pamo::stats::rng::seeded;
+use pamo::workload::DriftingScenario;
+
+fn main() {
+    let base = Scenario::uniform(5, 3, 20e6, 99);
+    let mut drifting = DriftingScenario::new(&base, 0.10); // 10 %/epoch content drift
+
+    let mut cfg = PamoConfig::default();
+    cfg.bo.max_iters = 4;
+    cfg.pool_size = 30;
+    cfg.profiling_per_camera = 25;
+    cfg.preference = PreferenceSource::Oracle; // isolate the adaptation effect
+
+    let run = run_online(&mut drifting, &cfg, [1.0; 5], 8, &mut seeded(17));
+
+    println!("epoch  divergence  online_U    static_U");
+    println!("------------------------------------------");
+    for e in &run.epochs {
+        println!(
+            "{:>5}  {:>9.3}  {:>9.4}  {}",
+            e.epoch,
+            e.divergence,
+            e.online_benefit,
+            e.static_benefit
+                .map(|v| format!("{v:>9.4}"))
+                .unwrap_or_else(|| "infeasible".to_string()),
+        );
+    }
+    println!(
+        "\nmean online U = {:.4}, mean static U = {:.4}",
+        run.mean_online_benefit(),
+        run.mean_static_benefit()
+    );
+    println!("Re-optimizing each epoch absorbs the content drift that the frozen");
+    println!("decision cannot; the gap widens with divergence.");
+}

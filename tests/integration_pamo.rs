@@ -1,0 +1,139 @@
+//! End-to-end integration: PaMO against the baselines on small
+//! scenarios — the Fig. 6/7 comparison in miniature.
+
+use pamo::baselines::measure_decision;
+use pamo::bo::{AcqKind, BoConfig};
+use pamo::core::{PamoConfig, PreferenceSource};
+use pamo::prelude::*;
+use pamo::stats::rng::seeded;
+
+fn tiny_pamo(preference: PreferenceSource) -> Pamo {
+    Pamo::new(PamoConfig {
+        bo: BoConfig {
+            n_init: 5,
+            batch: 2,
+            mc_samples: 16,
+            max_iters: 5,
+            delta: 0.01,
+            kind: AcqKind::QNei,
+        },
+        pool_size: 30,
+        profiling_per_camera: 25,
+        profile_noise: 0.02,
+        n_comparisons: 10,
+        elicit_candidates: 20,
+        preference,
+    })
+}
+
+#[test]
+fn pamo_plus_beats_or_matches_baselines() {
+    let mut wins = 0;
+    let trials = 3;
+    for seed in 0..trials {
+        let scenario = Scenario::uniform(5, 3, 20e6, 100 + seed);
+        let pref = TruePreference::uniform(&scenario);
+
+        let u_jcab =
+            pref.benefit(&measure_decision(&scenario, &Jcab::default().decide(&scenario)));
+        let u_fact =
+            pref.benefit(&measure_decision(&scenario, &Fact::default().decide(&scenario)));
+        let plus = tiny_pamo(PreferenceSource::Oracle)
+            .decide(&scenario, &pref, &mut seeded(seed))
+            .unwrap();
+
+        if plus.true_benefit >= u_jcab && plus.true_benefit >= u_fact {
+            wins += 1;
+        }
+    }
+    // With tiny budgets allow one unlucky trial, but not a majority.
+    assert!(wins >= trials - 1, "PaMO+ won only {wins}/{trials} trials");
+}
+
+#[test]
+fn learned_preference_tracks_oracle() {
+    let scenario = Scenario::uniform(4, 3, 20e6, 55);
+    // A sharply skewed preference: latency is everything.
+    let pref = TruePreference::new(&scenario, [3.2, 1.0, 1.0, 1.0, 1.0]);
+    let plus = tiny_pamo(PreferenceSource::Oracle)
+        .decide(&scenario, &pref, &mut seeded(1))
+        .unwrap();
+    let learned = tiny_pamo(PreferenceSource::Learned)
+        .decide(&scenario, &pref, &mut seeded(1))
+        .unwrap();
+    // Gap bounded by a fraction of the benefit scale Σw = 7.2.
+    let gap = plus.true_benefit - learned.true_benefit;
+    assert!(
+        gap < 0.25 * 7.2,
+        "learned preference too far from oracle: gap {gap}"
+    );
+}
+
+#[test]
+fn all_methods_produce_valid_decisions() {
+    let scenario = Scenario::uniform(5, 4, 20e6, 77);
+    let pref = TruePreference::uniform(&scenario);
+
+    let jcab = Jcab::default().decide(&scenario);
+    let fact = Fact::default().decide(&scenario);
+    for (name, d) in [("jcab", &jcab), ("fact", &fact)] {
+        assert_eq!(d.configs.len(), 5, "{name}");
+        assert!(d.server_of.iter().all(|&s| s < 4), "{name}");
+        let out = measure_decision(&scenario, d);
+        assert!(out.accuracy > 0.0 && out.accuracy <= 1.0, "{name}");
+        assert!(out.latency_s > 0.0, "{name}");
+    }
+
+    let pamo = tiny_pamo(PreferenceSource::Oracle)
+        .decide(&scenario, &pref, &mut seeded(5))
+        .unwrap();
+    assert!(scenario.schedule(&pamo.configs).is_ok());
+    assert!(pamo.bo.best_trace.len() >= 2);
+    // The trace never decreases (best-so-far).
+    assert!(pamo
+        .bo
+        .best_trace
+        .windows(2)
+        .all(|w| w[1] >= w[0] - 1e-12));
+}
+
+#[test]
+fn acquisition_variants_all_work_end_to_end() {
+    let scenario = Scenario::uniform(4, 3, 20e6, 88);
+    let pref = TruePreference::uniform(&scenario);
+    let floor = pref.benefit(
+        &scenario
+            .evaluate(&[VideoConfig::new(360.0, 1.0); 4])
+            .unwrap()
+            .outcome,
+    );
+    for kind in [
+        AcqKind::QNei,
+        AcqKind::QEi,
+        AcqKind::QUcb { beta: 2.0 },
+        AcqKind::QSr,
+    ] {
+        let mut cfg = PamoConfig {
+            preference: PreferenceSource::Oracle,
+            ..PamoConfig::default()
+        };
+        cfg.bo = BoConfig {
+            n_init: 4,
+            batch: 2,
+            mc_samples: 16,
+            max_iters: 3,
+            delta: 0.01,
+            kind,
+        };
+        cfg.pool_size = 20;
+        cfg.profiling_per_camera = 20;
+        let d = Pamo::new(cfg)
+            .decide(&scenario, &pref, &mut seeded(3))
+            .unwrap();
+        assert!(
+            d.true_benefit >= floor - 1e-9,
+            "{kind:?} under floor: {} vs {floor}",
+            d.true_benefit
+        );
+    }
+}
