@@ -77,7 +77,7 @@ impl Fact {
 
         // Start at the lowest resolution, everything on the best uplink.
         let mut resolutions: Vec<f64> = vec![space.resolutions()[0]; n];
-        let best_server = eva_linalg::vecops::argmax(scenario.uplinks()).unwrap_or(0);
+        let best_server = eva_linalg::vecops::argmax(scenario.planning_uplinks()).unwrap_or(0);
         let mut server_of: Vec<usize> = vec![best_server; n];
         let mut prev_cost = f64::INFINITY;
 
@@ -91,7 +91,7 @@ impl Fact {
             // `p/(1−ρ)` growth; effectively infinite past saturation).
             for i in 0..n {
                 let s = scenario.surfaces(i);
-                let uplink = scenario.uplinks()[server_of[i]];
+                let uplink = scenario.planning_uplinks()[server_of[i]];
                 let other_load: f64 = (0..n)
                     .filter(|&j| j != i && server_of[j] == server_of[i])
                     .map(|j| scenario.surfaces(j).proc_time_secs(resolutions[j]) * fps)
@@ -135,7 +135,7 @@ impl Fact {
                 let bits = scenario.surfaces(i).bits_per_frame(resolutions[i]);
                 let mut target = None;
                 let mut best_lat = f64::INFINITY;
-                for (sv, &b) in scenario.uplinks().iter().enumerate() {
+                for (sv, &b) in scenario.planning_uplinks().iter().enumerate() {
                     if load[sv] + utils[i] > cfg.util_cap + 1e-12 {
                         continue;
                     }
@@ -164,12 +164,11 @@ impl Fact {
                 .map(|i| {
                     let s = scenario.surfaces(i);
                     let c = VideoConfig::new(resolutions[i], fps);
-                    cfg.w_lct * s.e2e_latency_secs(&c, scenario.uplinks()[server_of[i]])
+                    cfg.w_lct * s.e2e_latency_secs(&c, scenario.planning_uplinks()[server_of[i]])
                         + cfg.w_acc * (1.0 - s.accuracy(&c))
                 })
                 .sum();
-            let improved_enough =
-                prev_cost - cost > cfg.delta * prev_cost.abs().max(1e-12);
+            let improved_enough = prev_cost - cost > cfg.delta * prev_cost.abs().max(1e-12);
             let settled = cfg.delta > 0.0 && !improved_enough;
             prev_cost = cost;
 

@@ -64,16 +64,14 @@ impl FixedWeight {
         let norm = outcome_bounds(scenario);
 
         // Knob space: per camera, a flat index into the config grid.
-        let dspace = DiscreteSpace::new(vec![
-            (0..space.len())
-                .map(|i| i as f64)
-                .collect::<Vec<f64>>();
-            n
-        ]);
+        let dspace =
+            DiscreteSpace::new(vec![
+                (0..space.len()).map(|i| i as f64).collect::<Vec<f64>>();
+                n
+            ]);
 
         let objective = |x: &[f64]| -> f64 {
-            let configs: Vec<VideoConfig> =
-                x.iter().map(|&i| space.at(i as usize)).collect();
+            let configs: Vec<VideoConfig> = x.iter().map(|&i| space.at(i as usize)).collect();
             match scenario.evaluate(&configs) {
                 Ok(so) => {
                     let cost = normalized_cost(&so.outcome.to_cost_vec(), &norm);

@@ -90,7 +90,7 @@ impl Jcab {
             // Per-stream drift-plus-penalty argmax (decomposes per stream
             // because both accuracy and power are separable).
             let mean_uplink: f64 =
-                scenario.uplinks().iter().sum::<f64>() / scenario.n_servers() as f64;
+                scenario.planning_uplinks().iter().sum::<f64>() / scenario.n_servers() as f64;
             for (i, chosen) in configs.iter_mut().enumerate() {
                 let s = scenario.surfaces(i);
                 let mut best_score = f64::NEG_INFINITY;
@@ -99,8 +99,7 @@ impl Jcab {
                     if s.e2e_latency_secs(&c, mean_uplink) > cfg.latency_deadline_s {
                         continue;
                     }
-                    let score =
-                        cfg.v * cfg.w_acc * s.accuracy(&c) - q * cfg.w_eng * s.power_w(&c);
+                    let score = cfg.v * cfg.w_acc * s.accuracy(&c) - q * cfg.w_eng * s.power_w(&c);
                     if score > best_score {
                         best_score = score;
                         *chosen = c;
@@ -113,8 +112,7 @@ impl Jcab {
                 .enumerate()
                 .map(|(i, c)| scenario.surfaces(i).power_w(c))
                 .sum();
-            let q_next =
-                (q + (total_power - cfg.energy_budget_w) * cfg.slot_secs).max(0.0);
+            let q_next = (q + (total_power - cfg.energy_budget_w) * cfg.slot_secs).max(0.0);
             history.push(configs.clone());
             let settled = (q_next - q).abs() < cfg.delta * cfg.energy_budget_w;
             q = q_next;
@@ -145,13 +143,15 @@ impl Jcab {
         // servers by descending uplink.
         let mut server_order: Vec<usize> = (0..scenario.n_servers()).collect();
         server_order.sort_by(|&a, &b| {
-            scenario.uplinks()[b]
-                .partial_cmp(&scenario.uplinks()[a])
+            scenario.planning_uplinks()[b]
+                .partial_cmp(&scenario.planning_uplinks()[a])
                 .expect("uplinks are finite")
         });
         let permuted = first_fit_by_utilization(&utils, scenario.n_servers());
-        let server_of: Vec<usize> =
-            permuted.into_iter().map(|slot| server_order[slot]).collect();
+        let server_of: Vec<usize> = permuted
+            .into_iter()
+            .map(|slot| server_order[slot])
+            .collect();
         Decision { configs, server_of }
     }
 

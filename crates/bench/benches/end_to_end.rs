@@ -76,5 +76,10 @@ fn bench_tiny_pamo(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schedule, bench_composite_sampler, bench_tiny_pamo);
+criterion_group!(
+    benches,
+    bench_schedule,
+    bench_composite_sampler,
+    bench_tiny_pamo
+);
 criterion_main!(benches);

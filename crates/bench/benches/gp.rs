@@ -56,12 +56,16 @@ fn bench_posterior_sampling(c: &mut Criterion) {
     let mut rng = seeded(9);
     for q in [8usize, 32] {
         let query = eva_stats::design::latin_hypercube(&mut rng, q, 3);
-        group.bench_with_input(BenchmarkId::new("joint_sample_64", q), &query, |bench, query| {
-            bench.iter(|| {
-                let post = m.posterior(query).unwrap();
-                post.sample(&mut seeded(3), 64).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("joint_sample_64", q),
+            &query,
+            |bench, query| {
+                bench.iter(|| {
+                    let post = m.posterior(query).unwrap();
+                    post.sample(&mut seeded(3), 64).unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

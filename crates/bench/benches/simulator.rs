@@ -29,10 +29,7 @@ fn bench_simulate(c: &mut Criterion) {
             deadline: 0,
         };
         // Rough frame count for throughput accounting.
-        let frames: u64 = streams
-            .iter()
-            .map(|s| 30 * TICKS_PER_SEC / s.period)
-            .sum();
+        let frames: u64 = streams.iter().map(|s| 30 * TICKS_PER_SEC / s.period).sum();
         group.throughput(Throughput::Elements(frames));
         group.bench_with_input(
             BenchmarkId::new("30s_horizon", format!("{n_streams}x{n_servers}")),

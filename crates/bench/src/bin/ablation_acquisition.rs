@@ -53,13 +53,8 @@ fn main() {
         let mut iters_sum = 0usize;
         let mut last_trace = Vec::new();
         for rep in 0..reps {
-            let (benefit, trace) = pamo_with_acquisition(
-                &scenario,
-                &pref,
-                &base,
-                kind,
-                child_seed(909, rep as u64),
-            );
+            let (benefit, trace) =
+                pamo_with_acquisition(&scenario, &pref, &base, kind, child_seed(909, rep as u64));
             benefit_sum += benefit;
             // First index achieving the final best (trace is monotone).
             let best = trace.last().copied().unwrap_or(f64::NEG_INFINITY);

@@ -56,7 +56,12 @@ fn main() {
     }
 
     let mut table = Table::new(vec!["variant", "total_groups", "vs_oracle"]);
-    let vs = |total: usize| format!("{:+.1}%", 100.0 * (total as f64 / oracle_total as f64 - 1.0));
+    let vs = |total: usize| {
+        format!(
+            "{:+.1}%",
+            100.0 * (total as f64 / oracle_total as f64 - 1.0)
+        )
+    };
     table.row(vec![
         "exact oracle (min Const2 groups)".to_string(),
         oracle_total.to_string(),

@@ -23,7 +23,11 @@ use rand::Rng;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let train_sizes: Vec<usize> = if quick { vec![60] } else { vec![30, 60, 120, 240] };
+    let train_sizes: Vec<usize> = if quick {
+        vec![60]
+    } else {
+        vec![30, 60, 120, 240]
+    };
     let reps = if quick { 3 } else { 8 };
     let n_test = 25;
     let uplink = 20e6;
@@ -42,6 +46,8 @@ fn main() {
     let mut results = Vec::new();
 
     for &n in &train_sizes {
+        // `obj` indexes outcome vectors and OBJECTIVE_NAMES in lockstep.
+        #[allow(clippy::needless_range_loop)]
         for obj in 0..N_OBJECTIVES {
             let mut r2 = [0.0f64; 3]; // gp, poly2, poly3
             for rep in 0..reps {
@@ -114,12 +120,7 @@ fn main() {
     println!("(wrote results/ablation_outcome_models.json)");
 }
 
-fn truth_value(
-    profiler: &Profiler,
-    c: &eva_workload::VideoConfig,
-    uplink: f64,
-    obj: usize,
-) -> f64 {
+fn truth_value(profiler: &Profiler, c: &eva_workload::VideoConfig, uplink: f64, obj: usize) -> f64 {
     let s = profiler.surfaces();
     match obj {
         0 => s.e2e_latency_secs(c, uplink),

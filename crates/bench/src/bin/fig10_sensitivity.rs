@@ -64,9 +64,7 @@ fn weights_experiment(quick: bool, results: &mut Vec<serde_json::Value>) {
     } else {
         vec![0.05, 0.1, 0.2, 0.5, 0.8, 1.0, 2.0, 5.0]
     };
-    let mut table = Table::new(vec![
-        "setup", "weight", "JCAB", "FACT", "PaMO", "PaMO+",
-    ]);
+    let mut table = Table::new(vec!["setup", "weight", "JCAB", "FACT", "PaMO", "PaMO+"]);
     for setup in setups() {
         // PaMO / PaMO+ once per setup (weight-independent).
         let mut rng = seeded(child_seed(4242, 1));
@@ -91,12 +89,14 @@ fn weights_experiment(quick: bool, results: &mut Vec<serde_json::Value>) {
                 w_lct: w,
                 ..Default::default()
             });
-            let u_jcab = setup
-                .pref
-                .benefit(&measure_decision(&setup.scenario, &jcab.decide(&setup.scenario)));
-            let u_fact = setup
-                .pref
-                .benefit(&measure_decision(&setup.scenario, &fact.decide(&setup.scenario)));
+            let u_jcab = setup.pref.benefit(&measure_decision(
+                &setup.scenario,
+                &jcab.decide(&setup.scenario),
+            ));
+            let u_fact = setup.pref.benefit(&measure_decision(
+                &setup.scenario,
+                &fact.decide(&setup.scenario),
+            ));
             table.row(vec![
                 setup.label.to_string(),
                 format!("{w}"),
@@ -125,9 +125,7 @@ fn thresholds_experiment(quick: bool, results: &mut Vec<serde_json::Value>) {
     } else {
         vec![0.02, 0.04, 0.06, 0.08, 0.1, 0.2]
     };
-    let mut table = Table::new(vec![
-        "setup", "delta", "JCAB", "FACT", "PaMO", "PaMO+",
-    ]);
+    let mut table = Table::new(vec!["setup", "delta", "JCAB", "FACT", "PaMO", "PaMO+"]);
     for setup in setups() {
         // Reference: PaMO+ at the tightest threshold anchors normalization.
         let mut rng = seeded(child_seed(777, 0));
@@ -158,12 +156,14 @@ fn thresholds_experiment(quick: bool, results: &mut Vec<serde_json::Value>) {
                 delta,
                 ..Default::default()
             });
-            let u_jcab = setup
-                .pref
-                .benefit(&measure_decision(&setup.scenario, &jcab.decide(&setup.scenario)));
-            let u_fact = setup
-                .pref
-                .benefit(&measure_decision(&setup.scenario, &fact.decide(&setup.scenario)));
+            let u_jcab = setup.pref.benefit(&measure_decision(
+                &setup.scenario,
+                &jcab.decide(&setup.scenario),
+            ));
+            let u_fact = setup.pref.benefit(&measure_decision(
+                &setup.scenario,
+                &fact.decide(&setup.scenario),
+            ));
             table.row(vec![
                 setup.label.to_string(),
                 format!("{delta}"),

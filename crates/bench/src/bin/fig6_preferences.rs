@@ -28,7 +28,13 @@ fn main() {
         "PaMO_vs_FACT",
     ]);
     let mut ratio_table = Table::new(vec![
-        "objective", "weight", "method", "latency", "accuracy", "network", "computation",
+        "objective",
+        "weight",
+        "method",
+        "latency",
+        "accuracy",
+        "network",
+        "computation",
         "energy",
     ]);
     let mut results = Vec::new();
@@ -48,8 +54,7 @@ fn main() {
             }
             let scores = run_all_methods(&setting);
             let by = |name: &str| scores.iter().find(|s| s.name == name).unwrap();
-            let (jcab, fact, pamo, plus) =
-                (by("JCAB"), by("FACT"), by("PaMO"), by("PaMO+"));
+            let (jcab, fact, pamo, plus) = (by("JCAB"), by("FACT"), by("PaMO"), by("PaMO+"));
             let gap = (plus.normalized - pamo.normalized) / plus.normalized.max(1e-9);
             let improve = |base: f64| {
                 if base.abs() < 1e-9 {

@@ -18,7 +18,13 @@ fn run_sweep(
     improvements: &mut (Vec<f64>, Vec<f64>, Vec<f64>),
 ) {
     let mut table = Table::new(vec![
-        label, "JCAB", "FACT", "PaMO", "PaMO+", "PaMO_gap_to_plus", "PaMO_vs_JCAB",
+        label,
+        "JCAB",
+        "FACT",
+        "PaMO",
+        "PaMO+",
+        "PaMO_gap_to_plus",
+        "PaMO_vs_JCAB",
         "PaMO_vs_FACT",
     ]);
     for (tag, setting) in settings {
@@ -65,7 +71,11 @@ fn main() {
     let mut improvements = (Vec::new(), Vec::new(), Vec::new());
 
     println!("== Figure 7 (left): 10 videos, varying server count ==");
-    let node_range: Vec<usize> = if quick { vec![5, 7, 9] } else { vec![5, 6, 7, 8, 9] };
+    let node_range: Vec<usize> = if quick {
+        vec![5, 7, 9]
+    } else {
+        vec![5, 6, 7, 8, 9]
+    };
     let settings = node_range
         .iter()
         .map(|&n| (format!("n{n}v10"), build(10, n)))
@@ -73,7 +83,11 @@ fn main() {
     run_sweep("nodes", settings, &mut results, &mut improvements);
 
     println!("== Figure 7 (right): 5 servers, varying video count ==");
-    let video_range: Vec<usize> = if quick { vec![7, 9, 11] } else { vec![7, 8, 9, 10, 11] };
+    let video_range: Vec<usize> = if quick {
+        vec![7, 9, 11]
+    } else {
+        vec![7, 8, 9, 10, 11]
+    };
     let settings = video_range
         .iter()
         .map(|&v| (format!("n5v{v}"), build(v, 5)))

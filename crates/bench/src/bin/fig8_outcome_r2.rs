@@ -88,9 +88,7 @@ fn main() {
                     .collect();
                 let pred: Vec<f64> = test_cfgs
                     .iter()
-                    .map(|c| {
-                        model.predict_mean(&eva_workload::profiler::features_of(c, uplink))
-                    })
+                    .map(|c| model.predict_mean(&eva_workload::profiler::features_of(c, uplink)))
                     .collect();
                 r2_acc[obj] += r_squared(&truth, &pred);
             }
@@ -123,12 +121,7 @@ fn main() {
     println!("(wrote results/fig8.json)");
 }
 
-fn truth_value(
-    profiler: &Profiler,
-    c: &eva_workload::VideoConfig,
-    uplink: f64,
-    obj: usize,
-) -> f64 {
+fn truth_value(profiler: &Profiler, c: &eva_workload::VideoConfig, uplink: f64, obj: usize) -> f64 {
     let s = profiler.surfaces();
     match obj {
         0 => s.e2e_latency_secs(c, uplink),

@@ -15,7 +15,9 @@ use eva_prefgp::{elicit_preferences, ElicitConfig};
 use eva_stats::rng::{child_seed, seeded};
 use eva_workload::{Scenario, N_OBJECTIVES};
 use pamo_core::benefit::{TruePreference, TruePreferenceOracle};
-use pamo_core::{build_pool, CompositeSampler, OutcomeModelBank, OutcomeNormalizer, PreferenceEval};
+use pamo_core::{
+    build_pool, CompositeSampler, OutcomeModelBank, OutcomeNormalizer, PreferenceEval,
+};
 use rand::Rng;
 
 fn main() {
@@ -66,7 +68,12 @@ fn main() {
         .collect();
     assert!(test_items.len() >= 20, "not enough test outcomes");
 
-    let mut table = Table::new(vec!["comparison_pairs", "accuracy_mean", "accuracy_min", "accuracy_max"]);
+    let mut table = Table::new(vec![
+        "comparison_pairs",
+        "accuracy_mean",
+        "accuracy_min",
+        "accuracy_max",
+    ]);
     let mut results = Vec::new();
 
     for &v in &pair_counts {
@@ -77,21 +84,16 @@ fn main() {
             let mut cfg = ElicitConfig::for_dim(N_OBJECTIVES);
             cfg.n_comparisons = v;
             cfg.lambda = 0.05; // deterministic oracle: sharpen the probit
-            let (model, _) =
-                elicit_preferences(&mut oracle, &candidates, &cfg, &mut rep_rng)
-                    .expect("elicitation");
+            let (model, _) = elicit_preferences(&mut oracle, &candidates, &cfg, &mut rep_rng)
+                .expect("elicitation");
             // 500 random test pairs of achievable outcome vectors.
             let mut correct = 0usize;
             for _ in 0..n_test {
                 let a = &test_items[rep_rng.gen_range(0..test_items.len())];
                 let mut b = &test_items[rep_rng.gen_range(0..test_items.len())];
                 if a == b {
-                    b = &test_items[(test_items
-                        .iter()
-                        .position(|x| x == a)
-                        .unwrap()
-                        + 1)
-                        % test_items.len()];
+                    b = &test_items
+                        [(test_items.iter().position(|x| x == a).unwrap() + 1) % test_items.len()];
                 }
                 let (ua, _) = model.predict_utility(a);
                 let (ub, _) = model.predict_utility(b);

@@ -91,7 +91,10 @@ mod tests {
         let samples = Mat::from_fn(n_mc, 1, |_, _| mean + sd * standard_normal(&mut rng));
         let mc = AcqKind::QUcb { beta }.score(&samples, None, None);
         let analytic = upper_confidence_bound(mean, sd, beta);
-        assert!((mc - analytic).abs() < 2e-2, "MC {mc} vs analytic {analytic}");
+        assert!(
+            (mc - analytic).abs() < 2e-2,
+            "MC {mc} vs analytic {analytic}"
+        );
     }
 
     /// qSR for q = 1 is just the posterior mean.

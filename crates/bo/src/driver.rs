@@ -215,11 +215,7 @@ mod tests {
             kind: AcqKind::QNei,
         };
         let r = bo_maximize(f, gp_fit, &pool, &cfg, &mut seeded(1));
-        assert!(
-            (r.best_x[0] - 0.3).abs() <= 0.05,
-            "best_x = {:?}",
-            r.best_x
-        );
+        assert!((r.best_x[0] - 0.3).abs() <= 0.05, "best_x = {:?}", r.best_x);
         assert!(r.best_value > -0.003);
     }
 

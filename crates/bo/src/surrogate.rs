@@ -7,8 +7,8 @@
 //! it in `pamo-core`. Both then share the same acquisition code, the
 //! same driver, and the same common-random-number discipline.
 
-use eva_linalg::Mat;
 use eva_gp::GpModel;
+use eva_linalg::Mat;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

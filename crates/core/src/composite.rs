@@ -111,10 +111,10 @@ impl<'a> CompositeSampler<'a> {
         let mut lat = 0.0;
         for (i, st) in assignment.streams.iter().enumerate() {
             let cam = st.id.source;
-            let uplink = self.scenario.uplinks()[assignment.server_of[i]];
-            let (mu, _) =
-                self.bank
-                    .predict_objective(cam, idx::LATENCY, &configs[cam], uplink);
+            let uplink = self.scenario.planning_uplinks()[assignment.server_of[i]];
+            let (mu, _) = self
+                .bank
+                .predict_objective(cam, idx::LATENCY, &configs[cam], uplink);
             lat += mu;
         }
         lat /= assignment.streams.len().max(1) as f64;
@@ -133,8 +133,8 @@ impl<'a> CompositeSampler<'a> {
             .streams
             .iter()
             .position(|s| s.id.source == cam)
-            .map(|i| self.scenario.uplinks()[assignment.server_of[i]])
-            .unwrap_or_else(|| self.scenario.uplinks()[0])
+            .map(|i| self.scenario.planning_uplinks()[assignment.server_of[i]])
+            .unwrap_or_else(|| self.scenario.planning_uplinks()[0])
     }
 
     /// Benefit samples at one joint-config point.
@@ -163,9 +163,7 @@ impl<'a> CompositeSampler<'a> {
         for cam in 0..m {
             let uplink = self.camera_uplink(&assignment, cam);
             for obj in [idx::ACCURACY, idx::NETWORK, idx::COMPUTATION, idx::ENERGY] {
-                let (mu, var) =
-                    self.bank
-                        .predict_objective(cam, obj, &configs[cam], uplink);
+                let (mu, var) = self.bank.predict_objective(cam, obj, &configs[cam], uplink);
                 let sd = var.max(0.0).sqrt();
                 let draws = crn_draws(seed, sub_key(cam, obj, &configs[cam], uplink), n_mc);
                 for (row, z) in draws.iter().enumerate() {
@@ -183,10 +181,10 @@ impl<'a> CompositeSampler<'a> {
         let n_parts = assignment.streams.len().max(1);
         for (i, st) in assignment.streams.iter().enumerate() {
             let cam = st.id.source;
-            let uplink = self.scenario.uplinks()[assignment.server_of[i]];
-            let (mu, var) =
-                self.bank
-                    .predict_objective(cam, idx::LATENCY, &configs[cam], uplink);
+            let uplink = self.scenario.planning_uplinks()[assignment.server_of[i]];
+            let (mu, var) = self
+                .bank
+                .predict_objective(cam, idx::LATENCY, &configs[cam], uplink);
             let sd = var.max(0.0).sqrt();
             let draws = crn_draws(
                 seed,
@@ -281,12 +279,8 @@ mod tests {
     fn oracle_sampler_is_deterministic_with_zero_spread() {
         let (sc, bank, pref) = setup();
         let normalizer = OutcomeNormalizer::for_scenario(&sc);
-        let sampler = CompositeSampler::new(
-            &sc,
-            bank,
-            PreferenceEval::Oracle(pref.clone()),
-            normalizer,
-        );
+        let sampler =
+            CompositeSampler::new(&sc, bank, PreferenceEval::Oracle(pref.clone()), normalizer);
         let x = encode_joint(&sc, &[VideoConfig::new(600.0, 5.0); 3]);
         let s = sampler.joint_samples(std::slice::from_ref(&x), 16, 3);
         // Oracle preference has zero spread in g, but outcome GPs still
@@ -300,8 +294,7 @@ mod tests {
     fn crn_makes_same_seed_identical() {
         let (sc, bank, pref) = setup();
         let normalizer = OutcomeNormalizer::for_scenario(&sc);
-        let sampler =
-            CompositeSampler::new(&sc, bank, PreferenceEval::Oracle(pref), normalizer);
+        let sampler = CompositeSampler::new(&sc, bank, PreferenceEval::Oracle(pref), normalizer);
         let a = encode_joint(&sc, &[VideoConfig::new(600.0, 5.0); 3]);
         let b = encode_joint(&sc, &[VideoConfig::new(900.0, 10.0); 3]);
         // Same point in two different batches, same seed: identical column.
@@ -319,12 +312,8 @@ mod tests {
     fn better_configs_get_higher_posterior_mean() {
         let (sc, bank, pref) = setup();
         let normalizer = OutcomeNormalizer::for_scenario(&sc);
-        let sampler = CompositeSampler::new(
-            &sc,
-            bank,
-            PreferenceEval::Oracle(pref.clone()),
-            normalizer,
-        );
+        let sampler =
+            CompositeSampler::new(&sc, bank, PreferenceEval::Oracle(pref.clone()), normalizer);
         // Under uniform weights, an extreme config (huge resource burn)
         // should score below a balanced mid config.
         let balanced = encode_joint(&sc, &[VideoConfig::new(720.0, 5.0); 3]);
@@ -342,8 +331,7 @@ mod tests {
     fn infeasible_point_gets_penalty() {
         let (sc, bank, pref) = setup();
         let normalizer = OutcomeNormalizer::for_scenario(&sc);
-        let sampler =
-            CompositeSampler::new(&sc, bank, PreferenceEval::Oracle(pref), normalizer);
+        let sampler = CompositeSampler::new(&sc, bank, PreferenceEval::Oracle(pref), normalizer);
         // 3 maxed-out cameras on 2 servers: unschedulable.
         let x = encode_joint(&sc, &[VideoConfig::new(2160.0, 30.0); 3]);
         let s = sampler.joint_samples(std::slice::from_ref(&x), 4, 1);

@@ -30,6 +30,6 @@ pub mod pool;
 pub use benefit::{normalized_benefit, OutcomeNormalizer, TruePreference};
 pub use composite::{CompositeSampler, PreferenceEval};
 pub use models::OutcomeModelBank;
-pub use online::{run_online, EpochRecord, OnlineRun};
+pub use online::{run_online, run_online_estimated, EpochRecord, OnlineRun};
 pub use pamo::{Pamo, PamoConfig, PamoDecision, PreferenceSource};
 pub use pool::{build_pool, decode_joint, encode_joint};

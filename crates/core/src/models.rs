@@ -46,8 +46,7 @@ impl OutcomeModelBank {
             let samples: Vec<ProfileSample> = (0..samples_per_camera)
                 .map(|_| {
                     let cfg = space.at(rng.gen_range(0..space.len()));
-                    let uplink =
-                        scenario.uplinks()[rng.gen_range(0..scenario.n_servers())];
+                    let uplink = scenario.uplinks()[rng.gen_range(0..scenario.n_servers())];
                     profiler.measure(&cfg, uplink, rng)
                 })
                 .collect();
@@ -55,7 +54,10 @@ impl OutcomeModelBank {
 
             let mut cam_models = Vec::with_capacity(N_OBJECTIVES);
             for obj in 0..N_OBJECTIVES {
-                let ys: Vec<f64> = samples.iter().map(|s| objective_value(&s.outcome, obj)).collect();
+                let ys: Vec<f64> = samples
+                    .iter()
+                    .map(|s| objective_value(&s.outcome, obj))
+                    .collect();
                 let model = match &shared_kernels {
                     Some(kernels) => {
                         let (kernel, noise) = &kernels[obj];
@@ -222,8 +224,8 @@ mod tests {
         let c = VideoConfig::new(1440.0, 10.0);
         let (lat_slow, _) = bank.predict_objective(0, idx::LATENCY, &c, 5e6);
         let (lat_fast, _) = bank.predict_objective(0, idx::LATENCY, &c, 30e6);
-        let truth_gap = sc.surfaces(0).e2e_latency_secs(&c, 5e6)
-            - sc.surfaces(0).e2e_latency_secs(&c, 30e6);
+        let truth_gap =
+            sc.surfaces(0).e2e_latency_secs(&c, 5e6) - sc.surfaces(0).e2e_latency_secs(&c, 30e6);
         assert!(
             lat_slow - lat_fast > 0.3 * truth_gap,
             "learned gap {} vs true gap {truth_gap}",

@@ -12,7 +12,8 @@
 //! slower timescales than video content); the preference is elicited or
 //! given once and reused across epochs.
 
-use eva_workload::{DriftingScenario, VideoConfig};
+use eva_net::LinkEstimator;
+use eva_workload::{DriftingScenario, Scenario, VideoConfig};
 use rand::Rng;
 
 use crate::benefit::TruePreference;
@@ -32,6 +33,9 @@ pub struct EpochRecord {
     pub static_benefit: Option<f64>,
     /// The online decision's configurations.
     pub configs: Vec<VideoConfig>,
+    /// Per-server planning bandwidths the epoch's decision used
+    /// (`None` when planning on the true uplinks — the oracle-B path).
+    pub planning_bps: Option<Vec<f64>>,
 }
 
 /// Result of an online run.
@@ -42,16 +46,23 @@ pub struct OnlineRun {
 }
 
 impl OnlineRun {
-    /// Mean online benefit across epochs.
+    /// Mean online benefit across epochs (0 for an empty run — never
+    /// NaN).
     pub fn mean_online_benefit(&self) -> f64 {
+        if self.epochs.is_empty() {
+            return 0.0;
+        }
         self.epochs.iter().map(|e| e.online_benefit).sum::<f64>() / self.epochs.len() as f64
     }
 
     /// Mean static-policy benefit over the epochs where it stayed
     /// feasible (infeasible epochs are charged the worst benefit
     /// observed minus one scale unit — going dark is worse than any
-    /// feasible outcome).
+    /// feasible outcome). 0 for an empty run — never NaN.
     pub fn mean_static_benefit(&self) -> f64 {
+        if self.epochs.is_empty() {
+            return 0.0;
+        }
         let worst_online = self
             .epochs
             .iter()
@@ -110,6 +121,106 @@ pub fn run_online<R: Rng + ?Sized>(
             online_benefit: decision.true_benefit,
             static_benefit,
             configs: decision.configs,
+            planning_bps: None,
+        });
+        drifting.advance(rng);
+    }
+    OnlineRun { epochs }
+}
+
+/// Noise-free delivery samples fed per stream each epoch. Enough for an
+/// EWMA with TCP-style `α = 1/8` to close most of the gap in one epoch
+/// while still exercising multi-epoch convergence.
+const DELIVERY_SAMPLES_PER_STREAM: usize = 8;
+
+/// Like [`run_online`], but the scheduler plans against *estimated*
+/// bandwidths: one [`LinkEstimator`] per server, re-fed each epoch with
+/// the realized per-frame deliveries of the streams placed on it. The
+/// next epoch's decision then uses `B̂ / headroom` as its planning
+/// bandwidth ([`Scenario::with_planning_uplinks`]); realized outcomes
+/// keep being charged at the true uplink rates. Epoch 0 — before any
+/// observation exists — plans on the provisioned uplinks, as does any
+/// server that has not yet carried a stream.
+#[allow(clippy::too_many_arguments)]
+pub fn run_online_estimated<R: Rng + ?Sized>(
+    drifting: &mut DriftingScenario,
+    config: &PamoConfig,
+    weights: [f64; eva_workload::N_OBJECTIVES],
+    n_epochs: usize,
+    estimators: &mut [Box<dyn LinkEstimator>],
+    headroom: f64,
+    rng: &mut R,
+) -> OnlineRun {
+    assert!(n_epochs > 0, "run_online_estimated: zero epochs");
+    let initial = drifting.snapshot();
+    assert_eq!(
+        estimators.len(),
+        initial.n_servers(),
+        "run_online_estimated: one estimator per server"
+    );
+    let pamo = Pamo::new(config.clone());
+
+    let mut static_configs: Option<Vec<VideoConfig>> = None;
+    let mut epochs = Vec::with_capacity(n_epochs);
+
+    for epoch in 0..n_epochs {
+        let base: Scenario = drifting.snapshot();
+        // A server that has never carried a stream has no observations;
+        // it keeps planning at its provisioned rate (encoded as
+        // `provisioned * headroom` so the division below lands back on
+        // the provisioned value). The override only activates once at
+        // least one estimator has been fed.
+        let warmed = estimators.iter().any(|e| e.estimate_bps().is_some());
+        let estimates: Option<Vec<f64>> = warmed.then(|| {
+            estimators
+                .iter()
+                .zip(base.uplinks())
+                .map(|(e, &b)| e.estimate_bps().unwrap_or(b * headroom))
+                .collect()
+        });
+        let scenario = match &estimates {
+            Some(est) => base.clone().with_planning_uplinks(est.clone(), headroom),
+            None => base.clone(),
+        };
+        let pref = TruePreference::new(&scenario, weights);
+
+        let decision = pamo
+            .decide(&scenario, &pref, rng)
+            .expect("drift keeps the floor configuration schedulable");
+        if static_configs.is_none() {
+            static_configs = Some(decision.configs.clone());
+        }
+        let static_benefit = static_configs.as_ref().and_then(|configs| {
+            scenario
+                .evaluate(configs)
+                .ok()
+                .map(|so| pref.benefit(&so.outcome))
+        });
+
+        // Re-feed the estimators with this epoch's realized deliveries:
+        // each placed stream part transmitted frames of `bits` at the
+        // *true* uplink rate of its server.
+        if let Ok(assignment) = scenario.schedule(&decision.configs) {
+            for (i, st) in assignment.streams.iter().enumerate() {
+                let src = st.id.source;
+                let server = assignment.server_of[i];
+                let bits = scenario
+                    .surfaces(src)
+                    .bits_per_frame(decision.configs[src].resolution);
+                let duration_s = bits / base.uplinks()[server];
+                for _ in 0..DELIVERY_SAMPLES_PER_STREAM {
+                    estimators[server].observe(bits / 8.0, duration_s);
+                }
+            }
+        }
+
+        epochs.push(EpochRecord {
+            epoch,
+            divergence: drifting.divergence_from(&initial),
+            online_benefit: decision.true_benefit,
+            static_benefit,
+            configs: decision.configs,
+            planning_bps: estimates.map(|est| est.iter().map(|b| b / headroom).collect()),
         });
         drifting.advance(rng);
     }
@@ -147,13 +258,7 @@ mod tests {
     fn online_runs_all_epochs_and_tracks_divergence() {
         let base = Scenario::uniform(3, 2, 20e6, 61);
         let mut drifting = DriftingScenario::new(&base, 0.08);
-        let run = run_online(
-            &mut drifting,
-            &tiny_config(),
-            [1.0; 5],
-            5,
-            &mut seeded(1),
-        );
+        let run = run_online(&mut drifting, &tiny_config(), [1.0; 5], 5, &mut seeded(1));
         assert_eq!(run.epochs.len(), 5);
         assert_eq!(run.epochs[0].divergence, 0.0);
         assert!(run.epochs[4].divergence > 0.0);
@@ -169,13 +274,7 @@ mod tests {
         // frozen epoch-0 decision (it can always re-pick it).
         let base = Scenario::uniform(3, 2, 20e6, 62);
         let mut drifting = DriftingScenario::new(&base, 0.10);
-        let run = run_online(
-            &mut drifting,
-            &tiny_config(),
-            [1.0; 5],
-            6,
-            &mut seeded(2),
-        );
+        let run = run_online(&mut drifting, &tiny_config(), [1.0; 5], 6, &mut seeded(2));
         let online = run.mean_online_benefit();
         let fixed = run.mean_static_benefit();
         // Tolerance for observation noise in tiny-budget BO runs.
@@ -186,16 +285,70 @@ mod tests {
     }
 
     #[test]
-    fn first_epoch_static_equals_online() {
-        let base = Scenario::uniform(3, 2, 20e6, 63);
+    fn empty_run_benefits_are_zero_not_nan() {
+        let run = OnlineRun { epochs: vec![] };
+        assert_eq!(run.mean_online_benefit(), 0.0);
+        assert_eq!(run.mean_static_benefit(), 0.0);
+        assert!(run.mean_online_benefit().is_finite());
+        assert!(run.mean_static_benefit().is_finite());
+    }
+
+    #[test]
+    fn estimated_run_converges_to_true_uplinks() {
+        use eva_net::EwmaEstimator;
+
+        let base = Scenario::uniform(3, 2, 20e6, 64);
         let mut drifting = DriftingScenario::new(&base, 0.05);
-        let run = run_online(
+        let mut estimators: Vec<Box<dyn LinkEstimator>> = (0..2)
+            .map(|_| Box::new(EwmaEstimator::default()) as Box<dyn LinkEstimator>)
+            .collect();
+        let run = run_online_estimated(
             &mut drifting,
             &tiny_config(),
             [1.0; 5],
-            3,
-            &mut seeded(3),
+            4,
+            &mut estimators,
+            1.1,
+            &mut seeded(4),
         );
+        assert_eq!(run.epochs.len(), 4);
+        // Epoch 0 has no observations — the oracle-B path.
+        assert!(run.epochs[0].planning_bps.is_none());
+        // Later epochs plan on estimates; deliveries are noise-free at
+        // the true 20 Mb/s, so estimates converge there and planning
+        // sits at estimate/headroom.
+        let last = run.epochs.last().unwrap();
+        let planning = last.planning_bps.as_ref().expect("estimates warmed up");
+        assert_eq!(planning.len(), 2);
+        assert!(
+            estimators.iter().any(|e| e.estimate_bps().is_some()),
+            "no estimator ever fed"
+        );
+        for (est, &b) in estimators.iter().zip(planning.iter()) {
+            match est.estimate_bps() {
+                // Fed server: noise-free deliveries at the true 20 Mb/s
+                // converge exactly; planning = estimate / headroom.
+                Some(e) => {
+                    assert!(
+                        (e - 20e6).abs() / 20e6 < 0.05,
+                        "estimate {e} far from true 20e6"
+                    );
+                    assert!((b - e / 1.1).abs() < 1e-6);
+                }
+                // Never-fed server: plans at its provisioned rate.
+                None => assert!((b - 20e6).abs() < 1e-6),
+            }
+        }
+        for e in &run.epochs {
+            assert!(e.online_benefit.is_finite());
+        }
+    }
+
+    #[test]
+    fn first_epoch_static_equals_online() {
+        let base = Scenario::uniform(3, 2, 20e6, 63);
+        let mut drifting = DriftingScenario::new(&base, 0.05);
+        let run = run_online(&mut drifting, &tiny_config(), [1.0; 5], 3, &mut seeded(3));
         let e0 = &run.epochs[0];
         let sb = e0.static_benefit.expect("epoch 0 is feasible");
         assert!((sb - e0.online_benefit).abs() < 1e-9);

@@ -159,8 +159,13 @@ impl Pamo {
             // (Algorithm 2 lines 16-18), and score the aggregate with
             // the preference layer (line 17).
             let mut locked = bank.lock();
-            let agg =
-                measure_aggregate(scenario, &configs, &assignment, cfg.profile_noise, Some(&mut locked));
+            let agg = measure_aggregate(
+                scenario,
+                &configs,
+                &assignment,
+                cfg.profile_noise,
+                Some(&mut locked),
+            );
             drop(locked);
             if let Some(outcome) = agg {
                 let y = normalizer.normalize(&outcome);
@@ -350,7 +355,12 @@ mod tests {
         // With tiny budgets we only ask for the right ballpark: the gap
         // to the oracle must be a fraction of the benefit scale (Σw = 5).
         let gap = plus.true_benefit - learned.true_benefit;
-        assert!(gap < 1.5, "gap {gap} (plus {} learned {})", plus.true_benefit, learned.true_benefit);
+        assert!(
+            gap < 1.5,
+            "gap {gap} (plus {} learned {})",
+            plus.true_benefit,
+            learned.true_benefit
+        );
     }
 
     #[test]

@@ -16,10 +16,7 @@ use rand::Rng;
 pub fn encode_joint(scenario: &Scenario, configs: &[VideoConfig]) -> Vec<f64> {
     assert_eq!(configs.len(), scenario.n_videos(), "encode: config count");
     let space = scenario.config_space();
-    configs
-        .iter()
-        .flat_map(|c| space.normalize(c))
-        .collect()
+    configs.iter().flat_map(|c| space.normalize(c)).collect()
 }
 
 /// Decode a flat vector back to per-camera configs (snapping to the

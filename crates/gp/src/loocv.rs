@@ -33,8 +33,8 @@ pub struct LooDiagnostics {
 impl LooDiagnostics {
     /// Root-mean-square LOO error.
     pub fn rmse(&self) -> f64 {
-        let mse: f64 = self.residuals.iter().map(|r| r * r).sum::<f64>()
-            / self.residuals.len() as f64;
+        let mse: f64 =
+            self.residuals.iter().map(|r| r * r).sum::<f64>() / self.residuals.len() as f64;
         mse.sqrt()
     }
 

@@ -186,9 +186,7 @@ impl GpModel {
             .map(|&v| (v - self.y_mean) / self.y_std)
             .collect();
         let data_fit = vecops::dot(&z, &self.alpha);
-        -0.5 * data_fit
-            - 0.5 * self.chol.log_det()
-            - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
+        -0.5 * data_fit - 0.5 * self.chol.log_det() - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
     }
 
     /// Condition on additional observations, keeping hyperparameters
@@ -323,8 +321,7 @@ mod tests {
         for j in 0..2 {
             let col: Vec<f64> = (0..samples.rows()).map(|s| samples[(s, j)]).collect();
             let mean = eva_linalg::vecops::mean(&col);
-            let var = col.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>()
-                / col.len() as f64;
+            let var = col.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
             assert!((mean - post.mean[j]).abs() < 0.05, "mean j={j}");
             assert!(
                 (var - post.cov[(j, j)]).abs() < 0.1 * post.cov[(j, j)].max(0.01),

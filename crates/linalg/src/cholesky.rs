@@ -42,7 +42,10 @@ impl Cholesky {
         let mean_diag = (0..n).map(|i| a[(i, i)].abs()).sum::<f64>() / n.max(1) as f64;
         let base = JITTER_START * mean_diag.max(1.0);
         let mut jitter = base;
-        let mut last_err = LinalgError::NotPositiveDefinite { pivot: 0, value: 0.0 };
+        let mut last_err = LinalgError::NotPositiveDefinite {
+            pivot: 0,
+            value: 0.0,
+        };
         for _ in 0..JITTER_TRIES {
             match Self::decompose_inner(a, jitter) {
                 Ok(c) => return Ok(c),

@@ -88,6 +88,8 @@ impl Qr {
     }
 
     /// Solve the least-squares problem `min ||A x − b||₂`.
+    // Index loops mirror the textbook reflector/back-substitution forms.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
         let (m, n) = (self.qr.rows(), self.qr.cols());
         if b.len() != m {
@@ -116,9 +118,7 @@ impl Qr {
         }
         // Back-substitute R x = y[..n]. Diagonal entries tiny relative
         // to the largest one indicate (numerical) rank deficiency.
-        let max_diag = (0..n)
-            .map(|i| self.qr[(i, i)].abs())
-            .fold(0.0f64, f64::max);
+        let max_diag = (0..n).map(|i| self.qr[(i, i)].abs()).fold(0.0f64, f64::max);
         let tol = 1e-12 * max_diag.max(1e-300);
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {

@@ -171,10 +171,7 @@ mod tests {
         assert_eq!(norm2(&[3.0, 4.0]), 5.0);
         assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
         assert_eq!(l1_dist(&[1.0, -1.0], &[0.0, 1.0]), 3.0);
-        assert_eq!(
-            weighted_l1_dist(&[1.0, 0.0], &[0.0, 2.0], &[2.0, 0.5]),
-            3.0
-        );
+        assert_eq!(weighted_l1_dist(&[1.0, 0.0], &[0.0, 2.0], &[2.0, 0.5]), 3.0);
     }
 
     #[test]

@@ -125,10 +125,7 @@ pub fn coordinate_descent(
 }
 
 /// Exhaustive minimization over the whole space (test oracle / tiny spaces).
-pub fn exhaustive_best(
-    space: &DiscreteSpace,
-    mut f: impl FnMut(&[f64]) -> f64,
-) -> (Vec<f64>, f64) {
+pub fn exhaustive_best(space: &DiscreteSpace, mut f: impl FnMut(&[f64]) -> f64) -> (Vec<f64>, f64) {
     let mut best_x = None;
     let mut best_v = f64::INFINITY;
     for x in space.iter_points() {
@@ -193,12 +190,17 @@ mod tests {
             (0..6).map(|i| i as f64).collect(),
         ]);
         let f = |x: &[f64]| {
-            (x[0] - 2.0).powi(2) + (x[1] - 4.0).powi(2) + (x[2] - 1.0).powi(2)
+            (x[0] - 2.0).powi(2)
+                + (x[1] - 4.0).powi(2)
+                + (x[2] - 1.0).powi(2)
                 + 0.1 * (x[0] - 2.0) * (x[1] - 4.0)
         };
         let (idx, v_cd) = coordinate_descent(&s, f, &[0, 0, 0], 20);
         let (_, v_ex) = exhaustive_best(&s, f);
-        assert!((v_cd - v_ex).abs() < 1e-12, "cd {v_cd} vs exhaustive {v_ex}");
+        assert!(
+            (v_cd - v_ex).abs() < 1e-12,
+            "cd {v_cd} vs exhaustive {v_ex}"
+        );
         assert_eq!(s.decode(&idx), vec![2.0, 4.0, 1.0]);
     }
 

@@ -92,7 +92,11 @@ pub fn nelder_mead(
         let mut v = start.clone();
         let step = opts.init_step * span;
         // Step inward if stepping outward would leave the box.
-        v[d] = if v[d] + step <= hi { v[d] + step } else { v[d] - step };
+        v[d] = if v[d] + step <= hi {
+            v[d] + step
+        } else {
+            v[d] - step
+        };
         project(&mut v, bounds);
         simplex.push(v);
     }
@@ -210,13 +214,7 @@ pub fn multi_start<R: Rng + ?Sized>(
     for _ in 0..restarts {
         let start: Vec<f64> = bounds
             .iter()
-            .map(|&(lo, hi)| {
-                if hi > lo {
-                    rng.gen_range(lo..hi)
-                } else {
-                    lo
-                }
-            })
+            .map(|&(lo, hi)| if hi > lo { rng.gen_range(lo..hi) } else { lo })
             .collect();
         let run = nelder_mead(&mut f, &start, bounds, opts);
         let total_evals = best.evals + run.evals;
@@ -259,7 +257,12 @@ mod tests {
     #[test]
     fn minimizes_sphere() {
         let bounds = [(-5.0, 5.0); 3];
-        let r = nelder_mead(sphere, &[3.0, -2.0, 4.0], &bounds, &NelderMeadOptions::default());
+        let r = nelder_mead(
+            sphere,
+            &[3.0, -2.0, 4.0],
+            &bounds,
+            &NelderMeadOptions::default(),
+        );
         assert!(r.value < 1e-6, "value = {}", r.value);
         assert!(r.x.iter().all(|&xi| xi.abs() < 1e-2));
     }
@@ -300,7 +303,12 @@ mod tests {
                 d
             }
         };
-        let r = nelder_mead(f, &[1.0, 1.0], &[(-5.0, 5.0); 2], &NelderMeadOptions::default());
+        let r = nelder_mead(
+            f,
+            &[1.0, 1.0],
+            &[(-5.0, 5.0); 2],
+            &NelderMeadOptions::default(),
+        );
         assert!(r.value < 1e-4);
     }
 
@@ -335,7 +343,14 @@ mod tests {
         };
         let mut rng = eva_stats::rng::seeded(11);
         // Start in the basin of the worse minimum.
-        let r = multi_start(f, &[2.0], &[(-5.0, 5.0)], 10, &NelderMeadOptions::default(), &mut rng);
+        let r = multi_start(
+            f,
+            &[2.0],
+            &[(-5.0, 5.0)],
+            10,
+            &NelderMeadOptions::default(),
+            &mut rng,
+        );
         assert!(r.value < 1e-4, "stuck at {}", r.value);
         assert!((r.x[0] + 2.0).abs() < 0.05);
     }

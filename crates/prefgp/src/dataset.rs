@@ -61,11 +61,7 @@ impl PreferenceDataset {
 
     fn find(&self, y: &[f64]) -> Option<usize> {
         self.items.iter().position(|it| {
-            it.len() == y.len()
-                && it
-                    .iter()
-                    .zip(y)
-                    .all(|(&a, &b)| (a - b).abs() <= DEDUP_TOL)
+            it.len() == y.len() && it.iter().zip(y).all(|(&a, &b)| (a - b).abs() <= DEDUP_TOL)
         })
     }
 
@@ -74,7 +70,10 @@ impl PreferenceDataset {
         let w = self.intern(preferred);
         let l = self.intern(other);
         assert_ne!(w, l, "PreferenceDataset::add: item compared to itself");
-        self.comparisons.push(Comparison { winner: w, loser: l });
+        self.comparisons.push(Comparison {
+            winner: w,
+            loser: l,
+        });
     }
 
     /// Ask `oracle` to compare `a` and `b`, record the answer.
@@ -199,10 +198,7 @@ mod tests {
         // utility gap 1.0, λ = 1.0: P(correct) = Φ(1/√2) ≈ 0.760.
         let mut o = NoisyOracle::new(|y: &[f64]| y[0], 1.0, seeded(5));
         let n = 20_000;
-        let correct = (0..n)
-            .filter(|_| o.prefers(&[1.0], &[0.0]))
-            .count() as f64
-            / n as f64;
+        let correct = (0..n).filter(|_| o.prefers(&[1.0], &[0.0])).count() as f64 / n as f64;
         let want = eva_stats::norm_cdf(1.0 / std::f64::consts::SQRT_2);
         assert!((correct - want).abs() < 0.01, "{correct} vs {want}");
     }

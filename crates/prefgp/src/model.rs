@@ -7,8 +7,8 @@
 //! posterior is approximated as `N(ĝ, (K⁻¹ + Λ)⁻¹)` with `Λ` the
 //! likelihood curvature (Laplace).
 
-use eva_linalg::{vecops, Cholesky, Mat};
 use eva_gp::Kernel;
+use eva_linalg::{vecops, Cholesky, Mat};
 use eva_stats::norm_cdf;
 
 use crate::dataset::PreferenceDataset;
@@ -75,11 +75,7 @@ impl PreferenceModel {
     /// Fit by Laplace approximation. `lambda` is the comparison-noise
     /// scale of Eq. 9 (must be positive; it also regularizes the probit
     /// slope for deterministic decision makers).
-    pub fn fit(
-        data: &PreferenceDataset,
-        kernel: Kernel,
-        lambda: f64,
-    ) -> Result<Self, PrefError> {
+    pub fn fit(data: &PreferenceDataset, kernel: Kernel, lambda: f64) -> Result<Self, PrefError> {
         if data.is_empty() {
             return Err(PrefError::Empty);
         }

@@ -81,10 +81,7 @@ pub fn assign_groups_to_servers(
     let cost: Vec<Vec<f64>> = groups
         .iter()
         .map(|g| {
-            let group_bits: f64 = g
-                .iter()
-                .map(|&i| bits_per_frame[split[i].id.source])
-                .sum();
+            let group_bits: f64 = g.iter().map(|&i| bits_per_frame[split[i].id.source]).sum();
             uplink_bps.iter().map(|&b| group_bits / b).collect()
         })
         .collect();
@@ -150,11 +147,7 @@ mod tests {
         let uplinks = vec![1e6, 100e6]; // slow, fast
         let a = assign_groups_to_servers(&streams, &bits, &uplinks).unwrap();
         // Stream 0 (heavy) must sit on server 1 (fast).
-        let heavy_idx = a
-            .streams
-            .iter()
-            .position(|s| s.id.source == 0)
-            .unwrap();
+        let heavy_idx = a.streams.iter().position(|s| s.id.source == 0).unwrap();
         assert_eq!(a.server_of[heavy_idx], 1);
     }
 

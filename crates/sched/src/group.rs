@@ -16,7 +16,10 @@ pub enum GroupingError {
     StreamInfeasible { source: usize, part: usize },
     /// More groups are required than servers are available
     /// (Algorithm 1, line 16: "No feasible grouping scheme").
-    NotEnoughServers { needed_at_least: usize, available: usize },
+    NotEnoughServers {
+        needed_at_least: usize,
+        available: usize,
+    },
 }
 
 impl std::fmt::Display for GroupingError {
@@ -141,7 +144,9 @@ fn group_accepts(streams: &[StreamTiming], group: &[usize], candidate: StreamTim
     let t_min = t_min_group.min(candidate.period);
     // (a) harmonicity w.r.t. the union minimum.
     let harmonic = candidate.period.is_multiple_of(t_min)
-        && group.iter().all(|&i| streams[i].period.is_multiple_of(t_min));
+        && group
+            .iter()
+            .all(|&i| streams[i].period.is_multiple_of(t_min));
     if !harmonic {
         return false;
     }

@@ -234,7 +234,10 @@ mod tests {
             .collect();
         let (assign, total) = hungarian_min_cost(&cost);
         // Lower bound: sum of per-row minima.
-        let lb: f64 = cost.iter().map(|r| r.iter().cloned().fold(f64::INFINITY, f64::min)).sum();
+        let lb: f64 = cost
+            .iter()
+            .map(|r| r.iter().cloned().fold(f64::INFINITY, f64::min))
+            .sum();
         assert!(total >= lb - 1e-9);
         // Upper bound: identity assignment.
         let ub: f64 = (0..n).map(|i| cost[i][i]).sum();

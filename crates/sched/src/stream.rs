@@ -56,7 +56,10 @@ impl StreamTiming {
 
     /// Convenience: build from frame rate (fps) and processing seconds.
     pub fn from_rate(id: StreamId, fps: f64, proc_secs: f64) -> Self {
-        assert!(fps > 0.0 && proc_secs > 0.0, "from_rate: non-positive input");
+        assert!(
+            fps > 0.0 && proc_secs > 0.0,
+            "from_rate: non-positive input"
+        );
         let period = ((TICKS_PER_SEC as f64) / fps).round().max(1.0) as Ticks;
         let proc = (proc_secs * TICKS_PER_SEC as f64).round().max(1.0) as Ticks;
         StreamTiming { id, period, proc }

@@ -139,10 +139,7 @@ mod tests {
         let base = 50u64;
         for mult in [(1u64, 2u64), (1, 3), (2, 4), (1, 1)] {
             for procs in [(10u64, 20u64), (25, 25), (5, 40)] {
-                let set = [
-                    st(0, base * mult.0, procs.0),
-                    st(1, base * mult.1, procs.1),
-                ];
+                let set = [st(0, base * mult.0, procs.0), st(1, base * mult.1, procs.1)];
                 if theorem3_group_ok(&set) {
                     assert!(const2_zero_jitter_ok(&set), "{set:?}");
                 }

@@ -3,10 +3,23 @@
 
 use std::collections::VecDeque;
 
+use eva_net::link::secs_to_ticks;
+use eva_net::LinkTrace;
 use eva_sched::{StreamId, Ticks, TICKS_PER_SEC};
 use eva_stats::RunningStats;
 
 use crate::event::{Event, EventQueue};
+
+/// Per-stream uplink binding for the time-varying-link engine: the
+/// frame size together with the materialized bandwidth trace the frame
+/// is transmitted over.
+#[derive(Debug, Clone)]
+pub struct StreamLink {
+    /// Frame payload (bits).
+    pub bits_per_frame: f64,
+    /// The uplink's `B(t)` over the simulation horizon.
+    pub trace: LinkTrace,
+}
 
 /// A periodic stream as the simulator sees it.
 #[derive(Debug, Clone, Copy)]
@@ -98,6 +111,36 @@ struct ServerState {
 /// immediately and self-schedule a `ServerDone`. FIFO order plus
 /// deterministic tie-breaking makes runs exactly replayable.
 pub fn simulate(streams: &[SimStream], n_servers: usize, cfg: &SimConfig) -> SimReport {
+    simulate_inner(streams, None, n_servers, cfg)
+}
+
+/// Run the simulation with per-stream *time-varying* uplinks: frame
+/// `k`'s transmission time is `bits / B(capture_k)` sampled from the
+/// stream's [`StreamLink`] trace (quasi-static per frame), instead of
+/// the fixed `trans`. `stream.trans` remains the *nominal* pipeline
+/// delay: captures are still back-dated by it, so a [`LinkTrace`] that
+/// is constant at the nominal rate reproduces [`simulate`] exactly,
+/// event for event.
+pub fn simulate_with_links(
+    streams: &[SimStream],
+    links: &[StreamLink],
+    n_servers: usize,
+    cfg: &SimConfig,
+) -> SimReport {
+    assert_eq!(
+        streams.len(),
+        links.len(),
+        "simulate_with_links: one link per stream"
+    );
+    simulate_inner(streams, Some(links), n_servers, cfg)
+}
+
+fn simulate_inner(
+    streams: &[SimStream],
+    links: Option<&[StreamLink]>,
+    n_servers: usize,
+    cfg: &SimConfig,
+) -> SimReport {
     assert!(
         streams.iter().all(|s| s.server < n_servers),
         "simulate: stream assigned to nonexistent server"
@@ -109,17 +152,29 @@ pub fn simulate(streams: &[SimStream], n_servers: usize, cfg: &SimConfig) -> Sim
 
     let mut queue = EventQueue::new();
     // Seed all frame arrivals within the horizon. (Arrival = end of
-    // transmission; capture happened `trans` earlier.)
+    // transmission; capture happened `trans` earlier.) `slot` is the
+    // nominal arrival instant under the fixed-`trans` model; with a
+    // link trace the arrival shifts by the difference between the
+    // realized transmission time and the nominal one, while capture
+    // stays anchored to the slot. Slow links can reorder arrivals of
+    // consecutive frames' slots; the FIFO server queue absorbs that.
     for (i, s) in streams.iter().enumerate() {
         let mut k: Ticks = 0;
         loop {
-            let arrival = s.phase + k * s.period;
-            if arrival >= cfg.horizon {
+            let slot = s.phase + k * s.period;
+            if slot >= cfg.horizon {
                 break;
             }
             // Capture time; saturates at 0 for the first frames whose
             // transmission would have started before t = 0.
-            let gen_time = arrival.saturating_sub(s.trans);
+            let gen_time = slot.saturating_sub(s.trans);
+            let arrival = match links.map(|ls| &ls[i]) {
+                None => slot,
+                Some(link) => {
+                    let d = secs_to_ticks(link.bits_per_frame / link.trace.rate_at(gen_time));
+                    (slot + d).saturating_sub(s.trans)
+                }
+            };
             queue.push(
                 arrival,
                 Event::FrameArrival {
@@ -175,6 +230,10 @@ pub fn simulate(streams: &[SimStream], n_servers: usize, cfg: &SimConfig) -> Sim
                 let clipped_end = now.min(cfg.horizon).max(clipped_start);
                 servers[server].busy_ticks += clipped_end - clipped_start;
                 // Record the completed frame if it arrived post-warmup.
+                // Eligibility is keyed to the *nominal* arrival slot so
+                // the measured frame set is the same with and without a
+                // link trace (time-varying links shift latencies, not
+                // which frames count).
                 let arrival = gen_time + streams[stream].trans;
                 if arrival >= cfg.warmup {
                     let latency_s = (now - gen_time) as f64 / TICKS_PER_SEC as f64;
@@ -186,7 +245,14 @@ pub fn simulate(streams: &[SimStream], n_servers: usize, cfg: &SimConfig) -> Sim
                     total_lat.push(latency_s);
                 }
                 if !servers[server].queue.is_empty() {
-                    start_next(server, now, streams, &mut servers, &mut in_flight, &mut queue);
+                    start_next(
+                        server,
+                        now,
+                        streams,
+                        &mut servers,
+                        &mut in_flight,
+                        &mut queue,
+                    );
                 }
             }
         }
@@ -295,10 +361,7 @@ mod tests {
         let a = sim_stream(0, 100_000, 30_000, 0, 0, 0);
         let b = sim_stream(1, 200_000, 50_000, 0, 0, 0);
         let r = simulate(&[a, b], 1, &short_cfg());
-        assert!(
-            r.max_jitter_s >= 0.0,
-            "smoke"
-        );
+        assert!(r.max_jitter_s >= 0.0, "smoke");
         // At least one stream suffers queueing: its latency exceeds its
         // own trans+proc baseline on some frame.
         let worst = r
@@ -370,10 +433,16 @@ mod tests {
         // 10 fps, 20ms proc: e2e 20ms. Deadline 10ms -> every frame
         // misses; deadline 50ms -> none does.
         let s = sim_stream(0, 100_000, 20_000, 0, 0, 0);
-        let tight = SimConfig { deadline: 10_000, ..short_cfg() };
+        let tight = SimConfig {
+            deadline: 10_000,
+            ..short_cfg()
+        };
         let r = simulate(&[s], 1, &tight);
         assert_eq!(r.streams[0].deadline_misses, r.streams[0].frames);
-        let loose = SimConfig { deadline: 50_000, ..short_cfg() };
+        let loose = SimConfig {
+            deadline: 50_000,
+            ..short_cfg()
+        };
         let r2 = simulate(&[s], 1, &loose);
         assert_eq!(r2.streams[0].deadline_misses, 0);
         // Disabled deadline counts nothing.
@@ -386,5 +455,64 @@ mod tests {
     fn rejects_bad_server_index() {
         let s = sim_stream(0, 100_000, 10_000, 0, 3, 0);
         let _ = simulate(&[s], 2, &short_cfg());
+    }
+
+    /// A constant link whose per-frame transmission time equals the
+    /// stream's nominal `trans` exactly.
+    fn nominal_link(trans: Ticks, rate_bps: f64) -> StreamLink {
+        StreamLink {
+            bits_per_frame: trans as f64 / TICKS_PER_SEC as f64 * rate_bps,
+            trace: eva_net::LinkModel::constant(rate_bps).trace(10 * TICKS_PER_SEC),
+        }
+    }
+
+    #[test]
+    fn constant_link_matches_fixed_trans_model() {
+        let streams = [
+            sim_stream(0, 100_000, 30_000, 5_000, 0, 2_000),
+            sim_stream(1, 200_000, 50_000, 12_000, 0, 32_000),
+        ];
+        let links: Vec<StreamLink> = streams
+            .iter()
+            .map(|s| nominal_link(s.trans, 20e6))
+            .collect();
+        let base = simulate(&streams, 1, &short_cfg());
+        let linked = simulate_with_links(&streams, &links, 1, &short_cfg());
+        for (a, b) in base.streams.iter().zip(&linked.streams) {
+            assert_eq!(a.frames, b.frames);
+            assert_eq!(a.latency.mean().to_bits(), b.latency.mean().to_bits());
+            assert_eq!(a.jitter_s.to_bits(), b.jitter_s.to_bits());
+        }
+        assert_eq!(base.max_queue_len, linked.max_queue_len);
+    }
+
+    #[test]
+    fn slower_link_raises_latency() {
+        let s = sim_stream(0, 100_000, 20_000, 5_000, 0, 0);
+        // True rate = half the nominal: 5 ms of payload takes 10 ms.
+        let link = StreamLink {
+            bits_per_frame: 0.005 * 20e6,
+            trace: eva_net::LinkModel::constant(10e6).trace(10 * TICKS_PER_SEC),
+        };
+        let r = simulate_with_links(&[s], &[link], 1, &short_cfg());
+        assert!((r.streams[0].latency.mean() - 0.030).abs() < 1e-9);
+        assert_eq!(r.streams[0].jitter_s, 0.0);
+    }
+
+    #[test]
+    fn rate_switching_link_produces_jitter() {
+        let s = sim_stream(0, 100_000, 20_000, 5_000, 0, 0);
+        let link = StreamLink {
+            bits_per_frame: 0.005 * 20e6,
+            trace: eva_net::LinkModel::gilbert_elliott(20e6, 4e6, 1.0, 1.0, 7)
+                .trace(10 * TICKS_PER_SEC),
+        };
+        let r = simulate_with_links(&[s], &[link], 1, &short_cfg());
+        // Good-state frames see 25 ms, bad-state frames 45 ms.
+        assert!(
+            r.streams[0].jitter_s > 0.01,
+            "jitter {}",
+            r.streams[0].jitter_s
+        );
     }
 }

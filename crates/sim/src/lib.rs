@@ -14,7 +14,8 @@
 //! Structure:
 //! * [`event`] — the time-ordered event queue,
 //! * [`des`] — the event-driven engine: periodic frame sources, FIFO
-//!   server queues, per-stream latency statistics,
+//!   server queues, per-stream latency statistics; optionally driven by
+//!   `eva-net` link traces (time-varying per-frame transmission times),
 //! * [`runner`] — glue from (`eva-workload` scenario, configs,
 //!   `eva-sched` assignment) to a simulation and back to measured
 //!   outcomes.
@@ -24,6 +25,12 @@ pub mod event;
 pub mod runner;
 pub mod tandem;
 
-pub use des::{simulate, SimConfig, SimReport, SimStream, StreamReport};
-pub use runner::{simulate_scenario, PhasePolicy, ScenarioSimReport};
-pub use tandem::{simulate_shared_uplink, TandemReport, TandemStreamReport};
+pub use des::{
+    simulate, simulate_with_links, SimConfig, SimReport, SimStream, StreamLink, StreamReport,
+};
+pub use runner::{
+    simulate_scenario, simulate_scenario_with_deadline, PhasePolicy, ScenarioSimReport,
+};
+pub use tandem::{
+    simulate_shared_uplink, simulate_shared_uplink_with_links, TandemReport, TandemStreamReport,
+};

@@ -1,10 +1,11 @@
 //! Glue: simulate a full workload scenario under a scheduling decision.
 
+use eva_net::LinkTrace;
 use eva_sched::theory::zero_jitter_offsets;
 use eva_sched::{Assignment, StreamTiming, Ticks, TICKS_PER_SEC};
 use eva_workload::{Scenario, VideoConfig};
 
-use crate::des::{simulate, SimConfig, SimReport, SimStream};
+use crate::des::{simulate, simulate_with_links, SimConfig, SimReport, SimStream, StreamLink};
 
 /// How stream arrival phases are chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,12 +31,30 @@ pub struct ScenarioSimReport {
 
 /// Simulate `scenario` under the given configs and Algorithm-1
 /// `assignment` for `horizon_secs` of simulated time.
+///
+/// When the scenario carries per-camera link models
+/// (`Scenario::with_link_models`), each stream's frames are transmitted
+/// over its camera's materialized `B(t)` trace; otherwise transmission
+/// is the fixed Eq. 5 `bits / B` delay.
 pub fn simulate_scenario(
     scenario: &Scenario,
     configs: &[VideoConfig],
     assignment: &Assignment,
     policy: PhasePolicy,
     horizon_secs: f64,
+) -> ScenarioSimReport {
+    simulate_scenario_with_deadline(scenario, configs, assignment, policy, horizon_secs, 0.0)
+}
+
+/// [`simulate_scenario`] with a per-frame end-to-end deadline
+/// (`deadline_secs = 0` disables miss counting).
+pub fn simulate_scenario_with_deadline(
+    scenario: &Scenario,
+    configs: &[VideoConfig],
+    assignment: &Assignment,
+    policy: PhasePolicy,
+    horizon_secs: f64,
+    deadline_secs: f64,
 ) -> ScenarioSimReport {
     assert_eq!(
         configs.len(),
@@ -86,9 +105,31 @@ pub fn simulate_scenario(
     let cfg = SimConfig {
         horizon: (horizon_secs * TICKS_PER_SEC as f64) as Ticks,
         warmup: TICKS_PER_SEC,
-        deadline: 0,
+        deadline: (deadline_secs * TICKS_PER_SEC as f64).round().max(0.0) as Ticks,
     };
-    let report = simulate(&sim_streams, n_servers, &cfg);
+
+    // One materialized trace per camera (split parts of one camera
+    // share its radio and therefore its trace).
+    let report = match scenario.link_models() {
+        None => simulate(&sim_streams, n_servers, &cfg),
+        Some(models) => {
+            let traces: Vec<LinkTrace> = models.iter().map(|m| m.trace(cfg.horizon)).collect();
+            let links: Vec<StreamLink> = assignment
+                .streams
+                .iter()
+                .map(|st| {
+                    let src = st.id.source;
+                    StreamLink {
+                        bits_per_frame: scenario
+                            .surfaces(src)
+                            .bits_per_frame(configs[src].resolution),
+                        trace: traces[src].clone(),
+                    }
+                })
+                .collect();
+            simulate_with_links(&sim_streams, &links, n_servers, &cfg)
+        }
+    };
 
     // Eq. 5 analytic prediction over the same (post-split) stream set.
     let analytic: f64 = assignment
@@ -112,7 +153,12 @@ pub fn simulate_scenario(
         .filter(|s| s.frames > 0)
         .map(|s| s.latency.mean())
         .sum::<f64>()
-        / report.streams.iter().filter(|s| s.frames > 0).count().max(1) as f64;
+        / report
+            .streams
+            .iter()
+            .filter(|s| s.frames > 0)
+            .count()
+            .max(1) as f64;
 
     ScenarioSimReport {
         measured_mean_latency_s: measured,
@@ -139,7 +185,9 @@ mod tests {
     #[test]
     fn zero_jitter_policy_measures_zero_jitter() {
         let (sc, cfgs) = scenario_and_configs();
-        let assignment = sc.schedule(&cfgs).unwrap();
+        let assignment = sc
+            .schedule(&cfgs)
+            .expect("test scenario admits a zero-jitter placement");
         let r = simulate_scenario(&sc, &cfgs, &assignment, PhasePolicy::ZeroJitter, 20.0);
         assert_eq!(
             r.report.max_jitter_s, 0.0,
@@ -151,7 +199,9 @@ mod tests {
     #[test]
     fn measured_latency_matches_analytic_under_zero_jitter() {
         let (sc, cfgs) = scenario_and_configs();
-        let assignment = sc.schedule(&cfgs).unwrap();
+        let assignment = sc
+            .schedule(&cfgs)
+            .expect("test scenario admits a zero-jitter placement");
         let r = simulate_scenario(&sc, &cfgs, &assignment, PhasePolicy::ZeroJitter, 20.0);
         // Tick rounding gives ~µs-scale discrepancies.
         let rel = (r.measured_mean_latency_s - r.analytic_mean_latency_s).abs()
@@ -167,7 +217,9 @@ mod tests {
     #[test]
     fn naive_phasing_is_never_better() {
         let (sc, cfgs) = scenario_and_configs();
-        let assignment = sc.schedule(&cfgs).unwrap();
+        let assignment = sc
+            .schedule(&cfgs)
+            .expect("test scenario admits a zero-jitter placement");
         let zj = simulate_scenario(&sc, &cfgs, &assignment, PhasePolicy::ZeroJitter, 20.0);
         let naive = simulate_scenario(&sc, &cfgs, &assignment, PhasePolicy::AllZero, 20.0);
         assert!(naive.measured_mean_latency_s >= zj.measured_mean_latency_s - 1e-9);
@@ -177,10 +229,17 @@ mod tests {
     #[test]
     fn all_streams_produce_frames() {
         let (sc, cfgs) = scenario_and_configs();
-        let assignment = sc.schedule(&cfgs).unwrap();
+        let assignment = sc
+            .schedule(&cfgs)
+            .expect("test scenario admits a zero-jitter placement");
         let r = simulate_scenario(&sc, &cfgs, &assignment, PhasePolicy::ZeroJitter, 20.0);
         for s in &r.report.streams {
-            assert!(s.frames > 10, "stream {} starved: {} frames", s.id, s.frames);
+            assert!(
+                s.frames > 10,
+                "stream {} starved: {} frames",
+                s.id,
+                s.frames
+            );
         }
     }
 }

@@ -16,10 +16,11 @@
 
 use std::collections::VecDeque;
 
+use eva_net::link::secs_to_ticks;
 use eva_sched::{Ticks, TICKS_PER_SEC};
 use eva_stats::RunningStats;
 
-use crate::des::{SimConfig, SimStream};
+use crate::des::{SimConfig, SimStream, StreamLink};
 use crate::event::{Event, EventQueue};
 
 /// Per-stream results of a tandem run.
@@ -72,6 +73,36 @@ pub fn simulate_shared_uplink(
     n_servers: usize,
     cfg: &SimConfig,
 ) -> TandemReport {
+    tandem_inner(streams, None, n_servers, cfg)
+}
+
+/// Shared-uplink tandem simulation with *time-varying* link rates: a
+/// frame starting transmission at `t` occupies the link for
+/// `bits / B(t)` (quasi-static per frame) instead of the fixed
+/// `stream.trans`. `links` is aligned with `streams`; streams sharing a
+/// server should carry (clones of) that server's trace. A constant
+/// trace at the nominal rate reproduces [`simulate_shared_uplink`]
+/// exactly.
+pub fn simulate_shared_uplink_with_links(
+    streams: &[SimStream],
+    links: &[StreamLink],
+    n_servers: usize,
+    cfg: &SimConfig,
+) -> TandemReport {
+    assert_eq!(
+        streams.len(),
+        links.len(),
+        "tandem: one link binding per stream"
+    );
+    tandem_inner(streams, Some(links), n_servers, cfg)
+}
+
+fn tandem_inner(
+    streams: &[SimStream],
+    links: Option<&[StreamLink]>,
+    n_servers: usize,
+    cfg: &SimConfig,
+) -> TandemReport {
     assert!(
         streams.iter().all(|s| s.server < n_servers),
         "tandem: stream assigned to nonexistent server"
@@ -97,7 +128,7 @@ pub fn simulate_shared_uplink(
         }
     }
 
-    let mut links: Vec<Station> = (0..n_servers).map(|_| Station::new()).collect();
+    let mut link_q: Vec<Station> = (0..n_servers).map(|_| Station::new()).collect();
     let mut cpus: Vec<Station> = (0..n_servers).map(|_| Station::new()).collect();
     // In-flight frame per station: links use even ids, CPUs odd ids in
     // the ServerDone event's `server` field: link j -> 2j, cpu j -> 2j+1.
@@ -113,9 +144,17 @@ pub fn simulate_shared_uplink(
             Event::FrameArrival { stream, gen_time } => {
                 // Captured: join the uplink FIFO of its server.
                 let sv = streams[stream].server;
-                links[sv].queue.push_back(Frame { stream, gen_time });
-                if !links[sv].busy {
-                    start_link(sv, now, streams, &mut links, &mut link_frame, &mut queue);
+                link_q[sv].queue.push_back(Frame { stream, gen_time });
+                if !link_q[sv].busy {
+                    start_link(
+                        sv,
+                        now,
+                        streams,
+                        links,
+                        &mut link_q,
+                        &mut link_frame,
+                        &mut queue,
+                    );
                 }
             }
             Event::ServerDone { server } => {
@@ -123,13 +162,21 @@ pub fn simulate_shared_uplink(
                 if server % 2 == 0 {
                     // Uplink finished: frame moves to the CPU FIFO.
                     let frame = link_frame[sv].take().expect("link done without frame");
-                    links[sv].busy = false;
+                    link_q[sv].busy = false;
                     cpus[sv].queue.push_back(frame);
                     if !cpus[sv].busy {
                         start_cpu(sv, now, streams, &mut cpus, &mut cpu_frame, &mut queue);
                     }
-                    if !links[sv].queue.is_empty() {
-                        start_link(sv, now, streams, &mut links, &mut link_frame, &mut queue);
+                    if !link_q[sv].queue.is_empty() {
+                        start_link(
+                            sv,
+                            now,
+                            streams,
+                            links,
+                            &mut link_q,
+                            &mut link_frame,
+                            &mut queue,
+                        );
                     }
                 } else {
                     // CPU finished: frame completes.
@@ -170,13 +217,19 @@ fn start_link(
     sv: usize,
     now: Ticks,
     streams: &[SimStream],
-    links: &mut [Station],
+    links: Option<&[StreamLink]>,
+    link_q: &mut [Station],
     link_frame: &mut [Option<Frame>],
     queue: &mut EventQueue,
 ) {
-    let frame = links[sv].queue.pop_front().expect("start_link: empty");
-    links[sv].busy = true;
-    let trans = streams[frame.stream].trans.max(1);
+    let frame = link_q[sv].queue.pop_front().expect("start_link: empty");
+    link_q[sv].busy = true;
+    // Service time: nominal `trans`, or `bits / B(now)` sampled from the
+    // link trace at transmission start (quasi-static per frame).
+    let trans = match links.map(|ls| &ls[frame.stream]) {
+        None => streams[frame.stream].trans.max(1),
+        Some(link) => secs_to_ticks(link.bits_per_frame / link.trace.rate_at(now)).max(1),
+    };
     link_frame[sv] = Some(frame);
     queue.push(now + trans, Event::ServerDone { server: 2 * sv });
 }
@@ -280,6 +333,63 @@ mod tests {
         let b = stream(1, 100_000, 1_000, 100_000, 0, 0);
         let r = simulate_shared_uplink(&[a, b], 1, &cfg());
         assert!(r.max_jitter_s > 1.0, "jitter {}", r.max_jitter_s);
+    }
+
+    #[test]
+    fn constant_link_matches_fixed_trans_tandem() {
+        let streams: Vec<SimStream> = (0..3)
+            .map(|i| stream(i, 100_000, 10_000, 20_000, 0, 7_000 * i as Ticks))
+            .collect();
+        let links: Vec<StreamLink> = streams
+            .iter()
+            .map(|s| StreamLink {
+                bits_per_frame: s.trans as f64 / TICKS_PER_SEC as f64 * 15e6,
+                trace: eva_net::LinkModel::constant(15e6).trace(10 * TICKS_PER_SEC),
+            })
+            .collect();
+        let base = simulate_shared_uplink(&streams, 1, &cfg());
+        let linked = simulate_shared_uplink_with_links(&streams, &links, 1, &cfg());
+        for (a, b) in base.streams.iter().zip(&linked.streams) {
+            assert_eq!(a.frames, b.frames);
+            assert_eq!(a.latency.mean().to_bits(), b.latency.mean().to_bits());
+            assert_eq!(a.jitter_s.to_bits(), b.jitter_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn fading_shared_link_serializes_harder() {
+        // A link oscillating below the nominal rate lengthens service
+        // times; the tandem backlog and latency must exceed the
+        // constant-rate run.
+        let streams: Vec<SimStream> = (0..2)
+            .map(|i| stream(i, 100_000, 5_000, 30_000, 0, 0))
+            .collect();
+        let nominal = 12e6;
+        let bits = 0.030 * nominal;
+        let steady: Vec<StreamLink> = streams
+            .iter()
+            .map(|_| StreamLink {
+                bits_per_frame: bits,
+                trace: eva_net::LinkModel::constant(nominal).trace(10 * TICKS_PER_SEC),
+            })
+            .collect();
+        let fading: Vec<StreamLink> = streams
+            .iter()
+            .map(|_| StreamLink {
+                bits_per_frame: bits,
+                trace: eva_net::LinkModel::gilbert_elliott(nominal, nominal / 3.0, 1.0, 1.0, 3)
+                    .trace(10 * TICKS_PER_SEC),
+            })
+            .collect();
+        let a = simulate_shared_uplink_with_links(&streams, &steady, 1, &cfg());
+        let b = simulate_shared_uplink_with_links(&streams, &fading, 1, &cfg());
+        assert!(
+            b.mean_latency_s > a.mean_latency_s,
+            "fading {} vs steady {}",
+            b.mean_latency_s,
+            a.mean_latency_s
+        );
+        assert!(b.max_jitter_s > a.max_jitter_s);
     }
 
     #[test]

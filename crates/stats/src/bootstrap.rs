@@ -86,8 +86,12 @@ mod tests {
     #[test]
     fn ci_width_shrinks_with_sample_size() {
         let mut rng = seeded(2);
-        let small: Vec<f64> = (0..10).map(|_| crate::rng::standard_normal(&mut rng)).collect();
-        let large: Vec<f64> = (0..1000).map(|_| crate::rng::standard_normal(&mut rng)).collect();
+        let small: Vec<f64> = (0..10)
+            .map(|_| crate::rng::standard_normal(&mut rng))
+            .collect();
+        let large: Vec<f64> = (0..1000)
+            .map(|_| crate::rng::standard_normal(&mut rng))
+            .collect();
         let ci_s = bootstrap_mean_ci(&small, 0.95, 1000, &mut seeded(3));
         let ci_l = bootstrap_mean_ci(&large, 0.95, 1000, &mut seeded(3));
         assert!(ci_l.hi - ci_l.lo < ci_s.hi - ci_s.lo);
@@ -101,7 +105,9 @@ mod tests {
         let trials = 200;
         for t in 0..trials {
             let mut rng = seeded(100 + t);
-            let data: Vec<f64> = (0..25).map(|_| crate::rng::standard_normal(&mut rng)).collect();
+            let data: Vec<f64> = (0..25)
+                .map(|_| crate::rng::standard_normal(&mut rng))
+                .collect();
             let ci = bootstrap_mean_ci(&data, 0.90, 500, &mut rng);
             if ci.lo <= 0.0 && 0.0 <= ci.hi {
                 hits += 1;

@@ -198,10 +198,7 @@ mod tests {
     #[test]
     fn lhs_in_unit_cube() {
         let pts = latin_hypercube(&mut seeded(6), 50, 4);
-        assert!(pts
-            .iter()
-            .flatten()
-            .all(|&x| (0.0..1.0).contains(&x)));
+        assert!(pts.iter().flatten().all(|&x| (0.0..1.0).contains(&x)));
     }
 
     #[test]

@@ -170,7 +170,11 @@ mod tests {
 
     #[test]
     fn normalizer_roundtrip() {
-        let rows = vec![vec![0.0, 10.0, -5.0], vec![2.0, 20.0, 5.0], vec![1.0, 15.0, 0.0]];
+        let rows = vec![
+            vec![0.0, 10.0, -5.0],
+            vec![2.0, 20.0, 5.0],
+            vec![1.0, 15.0, 0.0],
+        ];
         let nm = MinMaxNormalizer::fit(&rows);
         assert_eq!(nm.transform(&[0.0, 10.0, -5.0]), vec![0.0, 0.0, 0.0]);
         assert_eq!(nm.transform(&[2.0, 20.0, 5.0]), vec![1.0, 1.0, 1.0]);

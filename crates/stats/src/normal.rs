@@ -37,9 +37,8 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     let approx = if x >= 0.0 { tau } else { 2.0 - tau };
     // One Newton step: f(y) = erfc_true(x) - y has derivative -1, so we
     // refine via the identity d/dx erfc(x) = -2/sqrt(pi) exp(-x^2) by

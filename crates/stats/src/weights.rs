@@ -25,9 +25,7 @@ pub fn rank_order_centroid(k: usize) -> Vec<f64> {
 pub fn rank_sum(k: usize) -> Vec<f64> {
     assert!(k > 0, "rank_sum: k must be positive");
     let denom = (k * (k + 1)) as f64;
-    (1..=k)
-        .map(|i| 2.0 * (k + 1 - i) as f64 / denom)
-        .collect()
+    (1..=k).map(|i| 2.0 * (k + 1 - i) as f64 / denom).collect()
 }
 
 /// Pseudo-weights for a Pareto-front point `y` relative to per-objective
@@ -61,7 +59,11 @@ pub fn pseudo(y: &[f64], ideal: &[f64], nadir: &[f64]) -> Vec<f64> {
 /// Reorder a weight vector computed for importance ranks so that entry
 /// `order[i]` receives the rank-`i+1` weight.
 pub fn apply_ranking(rank_weights: &[f64], order: &[usize]) -> Vec<f64> {
-    assert_eq!(rank_weights.len(), order.len(), "apply_ranking: length mismatch");
+    assert_eq!(
+        rank_weights.len(),
+        order.len(),
+        "apply_ranking: length mismatch"
+    );
     let mut out = vec![0.0; order.len()];
     for (rank, &obj) in order.iter().enumerate() {
         out[obj] = rank_weights[rank];
@@ -134,7 +136,7 @@ mod tests {
     #[test]
     fn ranking_permutes_weights() {
         let rank_w = rank_sum(3); // [1/2, 1/3, 1/6]
-        // Objective 2 is most important, then 0, then 1.
+                                  // Objective 2 is most important, then 0, then 1.
         let w = apply_ranking(&rank_w, &[2, 0, 1]);
         assert_eq!(w[2], rank_w[0]);
         assert_eq!(w[0], rank_w[1]);

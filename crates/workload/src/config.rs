@@ -8,8 +8,9 @@
 use serde::{Deserialize, Serialize};
 
 /// Default resolution knobs (pixel height of the long edge).
-pub const DEFAULT_RESOLUTIONS: [f64; 9] =
-    [360.0, 480.0, 600.0, 720.0, 900.0, 1080.0, 1440.0, 1800.0, 2160.0];
+pub const DEFAULT_RESOLUTIONS: [f64; 9] = [
+    360.0, 480.0, 600.0, 720.0, 900.0, 1080.0, 1440.0, 1800.0, 2160.0,
+];
 
 /// Default frame-rate knobs (fps).
 pub const DEFAULT_FRAME_RATES: [f64; 8] = [1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0];

@@ -19,19 +19,20 @@
 //! * [`scenario`] — cameras + servers + analytic aggregate outcomes.
 
 pub mod clip;
+pub mod config;
 pub mod drift;
 pub mod hetero;
-pub mod config;
 pub mod outcome;
 pub mod profiler;
 pub mod scenario;
 pub mod surfaces;
 
 pub use clip::{mot16_library, ClipProfile};
-pub use drift::DriftingScenario;
-pub use hetero::{PhysicalServer, Virtualization};
 pub use config::{ConfigSpace, VideoConfig};
-pub use outcome::{Outcome, OBJECTIVE_NAMES, N_OBJECTIVES};
+pub use drift::DriftingScenario;
+pub use eva_net::LinkModel; // appears in Scenario's builder API
+pub use hetero::{PhysicalServer, Virtualization};
+pub use outcome::{Outcome, N_OBJECTIVES, OBJECTIVE_NAMES};
 pub use profiler::{ProfileSample, Profiler};
 pub use scenario::{Scenario, ScenarioOutcome};
 pub use surfaces::SurfaceModel;

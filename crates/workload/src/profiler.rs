@@ -85,8 +85,8 @@ impl Profiler {
             (v * (1.0 + self.rel_noise * z)).max(0.0)
         };
         let acc_true = s.accuracy(config);
-        let acc = (acc_true + self.acc_noise * eva_stats::rng::standard_normal(rng))
-            .clamp(0.0, 1.0);
+        let acc =
+            (acc_true + self.acc_noise * eva_stats::rng::standard_normal(rng)).clamp(0.0, 1.0);
         let outcome = Outcome {
             latency_s: noisy(s.e2e_latency_secs(config, uplink_bps), rng),
             accuracy: acc,
@@ -153,7 +153,10 @@ mod tests {
             .sum::<f64>()
             / n as f64;
         let truth = p.surfaces().bandwidth_bps(&c);
-        assert!((mean_bw - truth).abs() / truth < 0.005, "{mean_bw} vs {truth}");
+        assert!(
+            (mean_bw - truth).abs() / truth < 0.005,
+            "{mean_bw} vs {truth}"
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! Algorithm-1 placement: the quantity the BO loop optimizes and the
 //! discrete-event simulator cross-checks.
 
+use eva_net::LinkModel;
 use eva_sched::{assign_groups_to_servers, Assignment, GroupingError, StreamId, StreamTiming};
 use rand::Rng;
 
@@ -24,6 +25,15 @@ pub struct Scenario {
     surfaces: Vec<SurfaceModel>,
     uplink_bps: Vec<f64>,
     space: ConfigSpace,
+    /// Optional per-camera time-varying uplink processes. When present,
+    /// the DES transmits camera `i`'s frames over `links[i]` instead of
+    /// the fixed per-server uplink; the analytic model and `uplink_bps`
+    /// keep describing the provisioned (planning-time) bandwidth.
+    links: Option<Vec<LinkModel>>,
+    /// Optional per-server *planning* bandwidths (already divided by
+    /// the headroom factor): the `B̂` the schedulers believe in.
+    /// `None` = plan on the true provisioned `uplink_bps` (oracle-B).
+    planning_bps: Option<Vec<f64>>,
 }
 
 /// Result of evaluating a joint configuration on a scenario.
@@ -49,7 +59,48 @@ impl Scenario {
             surfaces,
             uplink_bps,
             space,
+            links: None,
+            planning_bps: None,
         }
+    }
+
+    /// Attach per-camera time-varying link models (one per camera).
+    /// Simulation-level transmissions then follow `models[i].trace(·)`;
+    /// planning still uses [`Scenario::planning_uplinks`].
+    pub fn with_link_models(mut self, models: Vec<LinkModel>) -> Self {
+        assert_eq!(
+            models.len(),
+            self.n_videos(),
+            "Scenario::with_link_models: one model per camera"
+        );
+        self.links = Some(models);
+        self
+    }
+
+    /// Plan against *estimated* per-server bandwidths: schedulers see
+    /// `est_bps[q] / headroom` instead of the true uplink. `headroom >=
+    /// 1` hedges estimation optimism (BBR-style max-filters overshoot a
+    /// fading link's sustainable rate). Evaluation of realized latency
+    /// keeps using the true uplinks.
+    pub fn with_planning_uplinks(mut self, est_bps: Vec<f64>, headroom: f64) -> Self {
+        assert_eq!(
+            est_bps.len(),
+            self.n_servers(),
+            "Scenario::with_planning_uplinks: one estimate per server"
+        );
+        assert!(headroom > 0.0, "Scenario: non-positive headroom");
+        assert!(
+            est_bps.iter().all(|&b| b > 0.0),
+            "Scenario: non-positive bandwidth estimate"
+        );
+        self.planning_bps = Some(est_bps.iter().map(|&b| b / headroom).collect());
+        self
+    }
+
+    /// Drop any planning-bandwidth override (back to oracle-B).
+    pub fn clear_planning_uplinks(mut self) -> Self {
+        self.planning_bps = None;
+        self
     }
 
     /// The paper's standard testbed shape: `n_videos` MOT16-like clips,
@@ -90,9 +141,28 @@ impl Scenario {
         &self.surfaces[i]
     }
 
-    /// Server uplink bandwidths (bits/s).
+    /// True (provisioned) server uplink bandwidths (bits/s) — what the
+    /// physical system delivers and what realized-outcome measurement
+    /// uses.
     pub fn uplinks(&self) -> &[f64] {
         &self.uplink_bps
+    }
+
+    /// The per-server bandwidths scheduling decisions are based on:
+    /// the planning override when one is set (estimated `B̂/headroom`),
+    /// otherwise the true uplinks (the oracle-B default).
+    pub fn planning_uplinks(&self) -> &[f64] {
+        self.planning_bps.as_deref().unwrap_or(&self.uplink_bps)
+    }
+
+    /// Per-camera time-varying link models, when attached.
+    pub fn link_models(&self) -> Option<&[LinkModel]> {
+        self.links.as_deref()
+    }
+
+    /// Camera `i`'s link model, when attached.
+    pub fn link_model(&self, i: usize) -> Option<&LinkModel> {
+        self.links.as_ref().map(|ls| &ls[i])
     }
 
     /// The shared configuration knob grid.
@@ -116,7 +186,10 @@ impl Scenario {
             .collect()
     }
 
-    /// Run Algorithm 1 for a joint configuration.
+    /// Run Algorithm 1 for a joint configuration. Placement costs use
+    /// the *planning* bandwidths ([`Scenario::planning_uplinks`]):
+    /// under an estimated-B override the scheduler optimizes against
+    /// its belief, not the hidden truth.
     pub fn schedule(&self, configs: &[VideoConfig]) -> Result<Assignment, GroupingError> {
         let timings = self.stream_timings(configs);
         let bits: Vec<f64> = configs
@@ -124,7 +197,7 @@ impl Scenario {
             .enumerate()
             .map(|(i, c)| self.surfaces[i].bits_per_frame(c.resolution))
             .collect();
-        assign_groups_to_servers(&timings, &bits, &self.uplink_bps)
+        assign_groups_to_servers(&timings, &bits, self.planning_uplinks())
     }
 
     /// Evaluate the aggregate outcome of a joint configuration under the
@@ -249,12 +322,12 @@ mod tests {
         let sc = small_scenario();
         let cfgs = low_config(4);
         let out = sc.evaluate(&cfgs).unwrap().outcome;
-        let manual_net: f64 = (0..4)
-            .map(|i| sc.surfaces(i).bandwidth_bps(&cfgs[i]))
-            .sum();
+        let manual_net: f64 = (0..4).map(|i| sc.surfaces(i).bandwidth_bps(&cfgs[i])).sum();
         assert!((out.network_bps - manual_net).abs() < 1e-9);
-        let manual_acc: f64 =
-            (0..4).map(|i| sc.surfaces(i).accuracy(&cfgs[i])).sum::<f64>() / 4.0;
+        let manual_acc: f64 = (0..4)
+            .map(|i| sc.surfaces(i).accuracy(&cfgs[i]))
+            .sum::<f64>()
+            / 4.0;
         assert!((out.accuracy - manual_acc).abs() < 1e-12);
     }
 
@@ -332,6 +405,75 @@ mod tests {
         if let Ok(out) = sc.evaluate(&cfgs) {
             assert!(out.assignment.streams.len() > 4);
         }
+    }
+
+    #[test]
+    fn planning_uplinks_default_to_true_uplinks() {
+        let sc = small_scenario();
+        assert_eq!(sc.planning_uplinks(), sc.uplinks());
+        assert!(sc.link_models().is_none());
+    }
+
+    #[test]
+    fn planning_override_divides_by_headroom() {
+        let sc = Scenario::uniform(4, 2, 20e6, 5).with_planning_uplinks(vec![30e6, 10e6], 1.25);
+        assert_eq!(sc.planning_uplinks(), &[24e6, 8e6]);
+        // True uplinks untouched.
+        assert_eq!(sc.uplinks(), &[20e6, 20e6]);
+        let back = sc.clear_planning_uplinks();
+        assert_eq!(back.planning_uplinks(), &[20e6, 20e6]);
+    }
+
+    #[test]
+    fn schedule_follows_planning_not_truth() {
+        // Two servers, uniform true uplinks. Planning believes server 1
+        // is far faster: the comm-latency Hungarian must send every
+        // group there or to equally-cheap options — compare against the
+        // belief-swapped override, which must mirror the preference.
+        let sc = Scenario::uniform(2, 2, 20e6, 8);
+        let cfgs = low_config(2);
+        let fast1 = sc
+            .clone()
+            .with_planning_uplinks(vec![1e6, 50e6], 1.0)
+            .schedule(&cfgs)
+            .unwrap();
+        let fast0 = sc
+            .with_planning_uplinks(vec![50e6, 1e6], 1.0)
+            .schedule(&cfgs)
+            .unwrap();
+        let on =
+            |a: &Assignment, server: usize| a.server_of.iter().filter(|&&s| s == server).count();
+        assert!(on(&fast1, 1) >= on(&fast1, 0));
+        assert!(on(&fast0, 0) >= on(&fast0, 1));
+    }
+
+    #[test]
+    fn evaluate_charges_true_uplinks_under_planning_override() {
+        // An optimistic belief must not lower the *realized* latency.
+        let sc = Scenario::uniform(4, 3, 20e6, 42);
+        let cfgs = low_config(4);
+        let honest = sc.evaluate(&cfgs).unwrap().outcome;
+        let optimistic = sc
+            .clone()
+            .with_planning_uplinks(vec![100e6; 3], 1.0)
+            .evaluate(&cfgs)
+            .unwrap()
+            .outcome;
+        // Same uniform uplinks everywhere -> identical realized latency
+        // regardless of belief-driven placement shuffling.
+        assert!((optimistic.latency_s - honest.latency_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_models_attach_per_camera() {
+        let sc = Scenario::uniform(3, 2, 20e6, 4).with_link_models(vec![
+            LinkModel::constant(20e6),
+            LinkModel::gilbert_elliott(25e6, 8e6, 3.0, 1.5, 1),
+            LinkModel::sinusoid(20e6, 5e6, 30.0, 0.05, 2),
+        ]);
+        assert!(sc.link_models().is_some());
+        assert_eq!(sc.link_model(0), Some(&LinkModel::constant(20e6)));
+        assert!(sc.link_model(1).unwrap().nominal_bps() < 25e6);
     }
 
     use eva_sched::StreamTiming;

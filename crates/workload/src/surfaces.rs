@@ -191,8 +191,8 @@ mod tests {
             prev = a;
         }
         // Diminishing returns: the 1440->2160 gain is smaller than 360->720.
-        let gain_lo = m.accuracy(&VideoConfig::new(720.0, 30.0))
-            - m.accuracy(&VideoConfig::new(360.0, 30.0));
+        let gain_lo =
+            m.accuracy(&VideoConfig::new(720.0, 30.0)) - m.accuracy(&VideoConfig::new(360.0, 30.0));
         let gain_hi = m.accuracy(&VideoConfig::new(2160.0, 30.0))
             - m.accuracy(&VideoConfig::new(1440.0, 30.0));
         assert!(gain_hi < gain_lo / 2.0);
@@ -265,8 +265,10 @@ mod tests {
         let easy = SurfaceModel::new(ClipProfile::new("easy", 1.0, 0.9, 1.0, 1.0));
         let hard = SurfaceModel::new(ClipProfile::new("hard", 1.0, 1.2, 1.0, 1.0));
         assert!(hard.proc_time_secs(1080.0) > easy.proc_time_secs(1080.0));
-        assert!(hard.compute_tflops(&VideoConfig::new(1080.0, 10.0))
-            > easy.compute_tflops(&VideoConfig::new(1080.0, 10.0)));
+        assert!(
+            hard.compute_tflops(&VideoConfig::new(1080.0, 10.0))
+                > easy.compute_tflops(&VideoConfig::new(1080.0, 10.0))
+        );
     }
 
     #[test]

@@ -4,9 +4,8 @@ use eva_workload::{clip::clip_set, ClipProfile, ConfigSpace, Scenario, SurfaceMo
 use proptest::prelude::*;
 
 fn clip_strategy() -> impl Strategy<Value = ClipProfile> {
-    (0.82f64..1.05, 0.86f64..1.2, 0.8f64..1.3, 0.6f64..1.6).prop_map(|(a, c, b, m)| {
-        ClipProfile::new("prop", a, c, b, m)
-    })
+    (0.82f64..1.05, 0.86f64..1.2, 0.8f64..1.3, 0.6f64..1.6)
+        .prop_map(|(a, c, b, m)| ClipProfile::new("prop", a, c, b, m))
 }
 
 fn config_strategy() -> impl Strategy<Value = VideoConfig> {

@@ -29,7 +29,10 @@ fn main() {
         .decide(&scenario, &pref, &mut rng)
         .expect("scenario is schedulable");
 
-    println!("PaMO decision ({} comparisons asked):", decision.comparisons_used);
+    println!(
+        "PaMO decision ({} comparisons asked):",
+        decision.comparisons_used
+    );
     for (i, c) in decision.configs.iter().enumerate() {
         println!(
             "  camera {i} ({}): {}p @ {} fps",

@@ -29,25 +29,33 @@ fn main() {
             s.period / 1000,
             s.proc / 1000,
             s.utilization(),
-            if s.is_high_rate() { "  << high-rate" } else { "" }
+            if s.is_high_rate() {
+                "  << high-rate"
+            } else {
+                ""
+            }
         );
     }
 
     // Step 1: split. ceil(s·p) substreams per high-rate stream.
     let split = split_high_rate(&streams);
-    println!("\nafter splitting: {} scheduler-visible streams", split.len());
+    println!(
+        "\nafter splitting: {} scheduler-visible streams",
+        split.len()
+    );
 
     // Step 2+3: Theorem-3 grouping + Hungarian onto 6 servers with
     // heterogeneous uplinks.
     let bits = vec![8e5, 1.5e6, 4e5, 8e5, 1.2e6];
     let uplinks = vec![5e6, 10e6, 15e6, 20e6, 25e6, 30e6];
-    let assignment =
-        assign_groups_to_servers(&streams, &bits, &uplinks).expect("schedulable");
-    println!("placement (total comm latency {:.4} s):", assignment.total_comm_latency);
+    let assignment = assign_groups_to_servers(&streams, &bits, &uplinks).expect("schedulable");
+    println!(
+        "placement (total comm latency {:.4} s):",
+        assignment.total_comm_latency
+    );
     for (g, members) in assignment.groups.iter().enumerate() {
         let server = assignment.group_server[g];
-        let timings: Vec<StreamTiming> =
-            members.iter().map(|&i| assignment.streams[i]).collect();
+        let timings: Vec<StreamTiming> = members.iter().map(|&i| assignment.streams[i]).collect();
         let ids: Vec<String> = timings.iter().map(|t| t.id.to_string()).collect();
         println!(
             "  group {g} -> server {server} ({} Mbps): [{}], gcd window {} ms, Σp {} ms, Const2 {}",

@@ -94,7 +94,11 @@ fn schedule(args: &[String], verify: bool) {
     );
     println!(
         "preference source: {}",
-        if oracle { "oracle (PaMO+)" } else { "learned from comparisons (PaMO)" }
+        if oracle {
+            "oracle (PaMO+)"
+        } else {
+            "learned from comparisons (PaMO)"
+        }
     );
     for (i, c) in decision.configs.iter().enumerate() {
         println!(

@@ -34,10 +34,14 @@ fn pamo_plus_beats_or_matches_baselines() {
         let scenario = Scenario::uniform(5, 3, 20e6, 100 + seed);
         let pref = TruePreference::uniform(&scenario);
 
-        let u_jcab =
-            pref.benefit(&measure_decision(&scenario, &Jcab::default().decide(&scenario)));
-        let u_fact =
-            pref.benefit(&measure_decision(&scenario, &Fact::default().decide(&scenario)));
+        let u_jcab = pref.benefit(&measure_decision(
+            &scenario,
+            &Jcab::default().decide(&scenario),
+        ));
+        let u_fact = pref.benefit(&measure_decision(
+            &scenario,
+            &Fact::default().decide(&scenario),
+        ));
         let plus = tiny_pamo(PreferenceSource::Oracle)
             .decide(&scenario, &pref, &mut seeded(seed))
             .unwrap();
@@ -90,11 +94,7 @@ fn all_methods_produce_valid_decisions() {
     assert!(scenario.schedule(&pamo.configs).is_ok());
     assert!(pamo.bo.best_trace.len() >= 2);
     // The trace never decreases (best-so-far).
-    assert!(pamo
-        .bo
-        .best_trace
-        .windows(2)
-        .all(|w| w[1] >= w[0] - 1e-12));
+    assert!(pamo.bo.best_trace.windows(2).all(|w| w[1] >= w[0] - 1e-12));
 }
 
 #[test]

@@ -34,8 +34,7 @@ fn elicited_model_ranks_real_outcomes() {
     let mut oracle = TruePreferenceOracle::new(&pref);
     let mut cfg = ElicitConfig::for_dim(5);
     cfg.n_comparisons = 18; // the paper's "accurate enough" budget
-    let (model, data) =
-        elicit_preferences(&mut oracle, &candidates, &cfg, &mut seeded(2)).unwrap();
+    let (model, data) = elicit_preferences(&mut oracle, &candidates, &cfg, &mut seeded(2)).unwrap();
     assert_eq!(data.len(), 18);
 
     // Pairwise accuracy on held-out *real* outcome pairs.

@@ -64,9 +64,14 @@ fn naive_phasing_never_beats_zero_jitter() {
         let Ok(assignment) = scenario.schedule(&configs) else {
             continue;
         };
-        let zj = simulate_scenario(&scenario, &configs, &assignment, PhasePolicy::ZeroJitter, 15.0);
-        let naive =
-            simulate_scenario(&scenario, &configs, &assignment, PhasePolicy::AllZero, 15.0);
+        let zj = simulate_scenario(
+            &scenario,
+            &configs,
+            &assignment,
+            PhasePolicy::ZeroJitter,
+            15.0,
+        );
+        let naive = simulate_scenario(&scenario, &configs, &assignment, PhasePolicy::AllZero, 15.0);
         assert!(
             naive.measured_mean_latency_s >= zj.measured_mean_latency_s - 1e-9,
             "seed {seed}: naive {} < zero-jitter {}",
@@ -90,7 +95,13 @@ fn splitting_makes_high_rate_fleets_schedulable() {
         "expected ≥3 substreams, got {}",
         assignment.streams.len()
     );
-    let sim = simulate_scenario(&scenario, &configs, &assignment, PhasePolicy::ZeroJitter, 10.0);
+    let sim = simulate_scenario(
+        &scenario,
+        &configs,
+        &assignment,
+        PhasePolicy::ZeroJitter,
+        10.0,
+    );
     assert_eq!(sim.report.max_jitter_s, 0.0);
 }
 
