@@ -64,16 +64,16 @@ impl Fact {
         let n_servers = scenario.n_servers();
 
         // Snap the fixed fps to the grid.
-        let fps = *space
+        let fps = space
             .frame_rates()
             .iter()
-            .min_by(|&&a, &&b| {
+            .copied()
+            .min_by(|a, b| {
                 (a - cfg.fixed_fps)
                     .abs()
-                    .partial_cmp(&(b - cfg.fixed_fps).abs())
-                    .unwrap()
+                    .total_cmp(&(b - cfg.fixed_fps).abs())
             })
-            .expect("non-empty frame-rate grid");
+            .unwrap_or(cfg.fixed_fps);
 
         // Start at the lowest resolution, everything on the best uplink.
         let mut resolutions: Vec<f64> = vec![space.resolutions()[0]; n];
@@ -128,7 +128,7 @@ impl Fact {
                 .map(|i| scenario.surfaces(i).proc_time_secs(resolutions[i]) * fps)
                 .collect();
             let mut order: Vec<usize> = (0..n).collect();
-            order.sort_by(|&a, &b| utils[b].partial_cmp(&utils[a]).unwrap());
+            order.sort_by(|&a, &b| utils[b].total_cmp(&utils[a]));
             let mut load = vec![0.0f64; n_servers];
             let mut new_alloc = vec![0usize; n];
             for &i in &order {
@@ -147,8 +147,8 @@ impl Fact {
                 }
                 let sv = target.unwrap_or_else(|| {
                     (0..n_servers)
-                        .min_by(|&a, &b| load[a].partial_cmp(&load[b]).unwrap())
-                        .unwrap()
+                        .min_by(|&a, &b| load[a].total_cmp(&load[b]))
+                        .unwrap_or(0)
                 });
                 load[sv] += utils[i];
                 new_alloc[i] = sv;

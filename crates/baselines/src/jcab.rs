@@ -143,9 +143,7 @@ impl Jcab {
         // servers by descending uplink.
         let mut server_order: Vec<usize> = (0..scenario.n_servers()).collect();
         server_order.sort_by(|&a, &b| {
-            scenario.planning_uplinks()[b]
-                .partial_cmp(&scenario.planning_uplinks()[a])
-                .expect("uplinks are finite")
+            scenario.planning_uplinks()[b].total_cmp(&scenario.planning_uplinks()[a])
         });
         let permuted = first_fit_by_utilization(&utils, scenario.n_servers());
         let server_of: Vec<usize> = permuted
@@ -196,7 +194,7 @@ impl Jcab {
 }
 
 fn eva_linalg_argmax(v: &[f64]) -> usize {
-    eva_linalg::vecops::argmax(v).expect("non-empty utilization vector")
+    eva_linalg::vecops::argmax(v).unwrap_or(0)
 }
 
 #[cfg(test)]

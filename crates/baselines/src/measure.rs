@@ -115,11 +115,7 @@ pub fn measure_decision(scenario: &Scenario, decision: &Decision) -> Outcome {
 pub fn first_fit_by_utilization(utilizations: &[f64], n_servers: usize) -> Vec<usize> {
     assert!(n_servers > 0, "first_fit: no servers");
     let mut order: Vec<usize> = (0..utilizations.len()).collect();
-    order.sort_by(|&a, &b| {
-        utilizations[b]
-            .partial_cmp(&utilizations[a])
-            .expect("utilizations must not be NaN")
-    });
+    order.sort_by(|&a, &b| utilizations[b].total_cmp(&utilizations[a]));
     let mut load = vec![0.0f64; n_servers];
     let mut placement = vec![0usize; utilizations.len()];
     for &i in &order {
@@ -128,8 +124,8 @@ pub fn first_fit_by_utilization(utilizations: &[f64], n_servers: usize) -> Vec<u
         let target = fit.unwrap_or_else(|| {
             // Spill: least-loaded server.
             (0..n_servers)
-                .min_by(|&a, &b| load[a].partial_cmp(&load[b]).unwrap())
-                .unwrap()
+                .min_by(|&a, &b| load[a].total_cmp(&load[b]))
+                .unwrap_or(0)
         });
         load[target] += u;
         placement[i] = target;

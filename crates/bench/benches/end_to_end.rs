@@ -24,7 +24,7 @@ fn bench_schedule(c: &mut Criterion) {
 fn bench_composite_sampler(c: &mut Criterion) {
     let scenario = Scenario::uniform(5, 4, 20e6, 82);
     let mut rng = seeded(1);
-    let bank = OutcomeModelBank::fit_initial(&scenario, 30, 0.02, &mut rng);
+    let bank = OutcomeModelBank::fit_initial(&scenario, 30, 0.02, &mut rng).unwrap();
     let pref = TruePreference::uniform(&scenario);
     let normalizer = OutcomeNormalizer::for_scenario(&scenario);
     let pool = build_pool(&scenario, 20, &mut rng);

@@ -36,7 +36,8 @@ fn main() {
     let pref = TruePreference::new(&scenario, [1.0, 2.0, 0.5, 1.5, 1.0]);
     let normalizer = OutcomeNormalizer::for_scenario(&scenario);
     let mut rng = seeded(5150);
-    let bank = OutcomeModelBank::fit_initial(&scenario, 30, 0.02, &mut rng);
+    let bank =
+        OutcomeModelBank::fit_initial(&scenario, 30, 0.02, &mut rng).expect("profiling GP fit");
     let sampler = CompositeSampler::new(
         &scenario,
         bank,

@@ -127,8 +127,9 @@ where
                         .score(&cand_samples, baseline.as_ref(), Some(incumbent))
                 })
                 .collect();
-            let best_idx = eva_linalg::vecops::argmax(&scores)
-                .expect("non-empty pool produces at least one finite score");
+            let Some(best_idx) = eva_linalg::vecops::argmax(&scores) else {
+                break; // empty pool: nothing left to select
+            };
             if scores[best_idx] == f64::NEG_INFINITY {
                 break; // pool exhausted (batch >= pool size)
             }

@@ -44,17 +44,19 @@ impl GpSurrogate {
 
 impl SurrogateSampler for GpSurrogate {
     fn joint_samples(&self, xs: &[Vec<f64>], n_mc: usize, seed: u64) -> Mat {
-        let posterior = self
-            .model
-            .posterior(xs)
-            .expect("posterior on non-empty query set");
+        // A degenerate posterior (empty query, non-PSD covariance) yields
+        // flat zero samples — the acquisition then scores the batch as
+        // valueless instead of panicking mid-optimization.
+        let Ok(posterior) = self.model.posterior(xs) else {
+            return Mat::from_fn(n_mc, xs.len(), |_, _| 0.0);
+        };
         let mut rng = StdRng::seed_from_u64(seed);
         let eps = Mat::from_fn(n_mc, xs.len(), |_, _| {
             eva_stats::rng::standard_normal(&mut rng)
         });
         posterior
             .sample_with(&eps)
-            .expect("sampling with matching eps dimensions")
+            .unwrap_or_else(|_| Mat::from_fn(n_mc, xs.len(), |_, _| 0.0))
     }
 
     fn posterior_mean(&self, x: &[f64]) -> f64 {

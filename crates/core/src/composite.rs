@@ -270,7 +270,7 @@ mod tests {
     fn setup() -> (Scenario, OutcomeModelBank, TruePreference) {
         let sc = Scenario::uniform(3, 2, 20e6, 41);
         let mut rng = seeded(9);
-        let bank = OutcomeModelBank::fit_initial(&sc, 40, 0.01, &mut rng);
+        let bank = OutcomeModelBank::fit_initial(&sc, 40, 0.01, &mut rng).unwrap();
         let pref = TruePreference::uniform(&sc);
         (sc, bank, pref)
     }

@@ -1,0 +1,91 @@
+//! The panic-free error layer for the end-to-end scheduler.
+//!
+//! Everything that can go wrong inside a PaMO decision — an infeasible
+//! placement, a GP fit whose kernel matrix stays non-positive-definite
+//! after the jitter ladder, a preference model that fails to converge —
+//! surfaces here as a [`CoreError`] instead of a panic. The online loop
+//! treats a failed epoch as *degraded service* (skip-and-log), never as
+//! process death: a scheduler that aborts on a numerical hiccup is
+//! strictly worse than one that serves the previous decision for one
+//! more epoch.
+
+use eva_gp::GpError;
+use eva_prefgp::PrefError;
+use eva_sched::GroupingError;
+
+/// Any failure of the PaMO decision pipeline.
+#[derive(Debug, Clone)]
+pub enum CoreError {
+    /// Algorithm 1 found no zero-jitter placement.
+    Grouping(GroupingError),
+    /// Outcome-model fitting or conditioning failed numerically (the
+    /// Cholesky jitter ladder was exhausted, or the data was degenerate).
+    OutcomeModel(GpError),
+    /// Preference elicitation / Laplace fitting failed.
+    Preference(PrefError),
+    /// A benefit or outcome value came back NaN/Inf.
+    NonFinite {
+        /// Which quantity went non-finite.
+        context: &'static str,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Grouping(e) => write!(f, "no zero-jitter placement: {e}"),
+            CoreError::OutcomeModel(e) => write!(f, "outcome-model failure: {e}"),
+            CoreError::Preference(e) => write!(f, "preference-model failure: {e}"),
+            CoreError::NonFinite { context } => {
+                write!(f, "non-finite value in {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Grouping(e) => Some(e),
+            CoreError::OutcomeModel(e) => Some(e),
+            CoreError::Preference(e) => Some(e),
+            CoreError::NonFinite { .. } => None,
+        }
+    }
+}
+
+impl From<GroupingError> for CoreError {
+    fn from(e: GroupingError) -> Self {
+        CoreError::Grouping(e)
+    }
+}
+
+impl From<GpError> for CoreError {
+    fn from(e: GpError) -> Self {
+        CoreError::OutcomeModel(e)
+    }
+}
+
+impl From<PrefError> for CoreError {
+    fn from(e: PrefError) -> Self {
+        CoreError::Preference(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::from(GroupingError::NotEnoughServers {
+            needed_at_least: 3,
+            available: 2,
+        });
+        assert!(e.to_string().contains("zero-jitter"));
+        assert!(std::error::Error::source(&e).is_some());
+        let nf = CoreError::NonFinite { context: "benefit" };
+        assert!(nf.to_string().contains("benefit"));
+        assert!(std::error::Error::source(&nf).is_none());
+    }
+}

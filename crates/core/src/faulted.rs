@@ -1,0 +1,472 @@
+//! Failure-aware online scheduling: [`run_online`]'s sibling for a
+//! world where servers crash, cameras drop out, and frames get lost.
+//!
+//! The deployment model matches Sec. 2.1's periodic controller, with a
+//! failure detector bolted on: every server emits heartbeats while up;
+//! at each epoch boundary the controller marks a server *alive* only if
+//! it has heard a heartbeat recently (the server was continuously up
+//! through the trailing heartbeat window — a freshly recovered server
+//! is still invisible for one detection lag). The fault-aware scheduler
+//! then re-runs Algorithm 1 + the BO loop restricted to survivors
+//! ([`crate::pamo::Pamo::decide_surviving`]); the fault-oblivious
+//! baseline keeps planning on the full server list and pays for it when
+//! its placements land on dead machines. When even the survivors cannot
+//! host a zero-jitter placement, the aware loop degrades to the best
+//! *cheaper uniform* configuration that still fits (the fallback
+//! ladder), and restores automatically once servers rejoin — recovery
+//! needs no special casing because liveness is re-detected every epoch.
+//!
+//! Realized (as opposed to planned) benefit charges the faults: a
+//! camera's accuracy contribution is scaled by the fraction of the
+//! epoch its frames were actually generated, delivered (surviving
+//! Bernoulli loss after bounded retries) and processed by an up server;
+//! compute/energy are only spent while the processing server is up;
+//! network is spent whenever the camera transmits. With the zero plan
+//! every scale factor is exactly 1.0 and the whole module delegates to
+//! [`run_online`] — bit-identical by construction.
+
+use eva_fault::process::secs_to_ticks;
+use eva_fault::{AvailabilityTrace, FaultPlan};
+use eva_sched::Assignment;
+use eva_workload::{DriftingScenario, Outcome, Scenario, VideoConfig};
+use rand::Rng;
+
+use crate::benefit::TruePreference;
+use crate::online::{run_online, EpochRecord, OnlineRun};
+use crate::pamo::{Pamo, PamoConfig};
+
+/// Knobs of the failure-aware online loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultedRunConfig {
+    /// Wall-clock length of one scheduling epoch (seconds).
+    pub epoch_s: f64,
+    /// Heartbeat timeout: a server is detected alive at an epoch
+    /// boundary only if it was continuously up over the trailing window
+    /// of this length (detection lag for fresh recoveries).
+    pub heartbeat_s: f64,
+    /// `true` — re-plan on detected survivors (fault-aware PaMO);
+    /// `false` — ignore the detector and plan on all servers (the
+    /// fault-oblivious baseline). Realized benefit charges the truth
+    /// either way.
+    pub fault_aware: bool,
+}
+
+impl Default for FaultedRunConfig {
+    fn default() -> Self {
+        FaultedRunConfig {
+            epoch_s: 30.0,
+            heartbeat_s: 2.0,
+            fault_aware: true,
+        }
+    }
+}
+
+/// Run PaMO online under a fault plan.
+///
+/// With `plan = None` or a zero plan this *is* [`run_online`] — same
+/// code path, bit-identical records. Otherwise each epoch detects the
+/// surviving servers, plans (restricted to survivors when
+/// `cfg.fault_aware`), degrades to a feasible uniform fallback when the
+/// decision pipeline fails, and records the *realized* benefit under
+/// the materialized fault traces.
+#[allow(clippy::too_many_arguments)]
+pub fn run_online_faulted<R: Rng + ?Sized>(
+    drifting: &mut DriftingScenario,
+    config: &PamoConfig,
+    weights: [f64; eva_workload::N_OBJECTIVES],
+    n_epochs: usize,
+    plan: Option<&FaultPlan>,
+    cfg: &FaultedRunConfig,
+    rng: &mut R,
+) -> OnlineRun {
+    assert!(n_epochs > 0, "run_online_faulted: zero epochs");
+    assert!(cfg.epoch_s > 0.0, "run_online_faulted: non-positive epoch");
+    assert!(
+        cfg.heartbeat_s >= 0.0,
+        "run_online_faulted: negative heartbeat"
+    );
+    let Some(plan) = plan.filter(|p| !p.is_zero()) else {
+        // The observational identity: nothing can fail, so the
+        // fault-free engine runs — bit-identical by delegation.
+        return run_online(drifting, config, weights, n_epochs, rng);
+    };
+
+    let initial = drifting.snapshot();
+    assert_eq!(
+        plan.servers.len(),
+        initial.n_servers(),
+        "run_online_faulted: plan/server count mismatch"
+    );
+    assert_eq!(
+        plan.cameras.len(),
+        initial.n_videos(),
+        "run_online_faulted: plan/camera count mismatch"
+    );
+    let pamo = Pamo::new(config.clone());
+
+    let epoch_len = secs_to_ticks(cfg.epoch_s).max(1);
+    let heartbeat = secs_to_ticks(cfg.heartbeat_s);
+    let horizon = epoch_len * n_epochs as u64 + 1;
+    let server_up = plan.server_availability(horizon);
+    let camera_up = plan.camera_availability(horizon);
+    // Residual per-frame loss after the retry budget: a frame survives
+    // unless every one of the 1 + max_retries transmissions is lost.
+    let survive: Vec<f64> = plan
+        .cameras
+        .iter()
+        .map(|c| 1.0 - c.loss.p.powi(plan.retry.max_retries as i32 + 1))
+        .collect();
+
+    let mut static_configs: Option<Vec<VideoConfig>> = None;
+    let mut epochs = Vec::with_capacity(n_epochs);
+    let mut any_degraded = false;
+
+    for epoch in 0..n_epochs {
+        let scenario = drifting.snapshot();
+        let pref = TruePreference::new(&scenario, weights);
+        let t = epoch as u64 * epoch_len;
+        let window = (t, t + epoch_len);
+
+        // Heartbeat-timeout failure detection at the epoch boundary.
+        let alive: Vec<bool> = server_up
+            .iter()
+            .map(|up| up.is_up_throughout(t.saturating_sub(heartbeat), t))
+            .collect();
+        let n_alive = alive.iter().filter(|&&a| a).count();
+
+        let mask: Option<&[bool]> = if cfg.fault_aware && n_alive < alive.len() {
+            Some(&alive)
+        } else {
+            None
+        };
+        if cfg.fault_aware && n_alive == 0 {
+            // Whole-cluster outage: nothing to schedule on. Serve
+            // nothing this epoch and retry at the next boundary.
+            eprintln!("run_online_faulted: epoch {epoch}: no servers alive — skipping");
+            any_degraded = true;
+            drifting.advance(rng);
+            continue;
+        }
+
+        // Plan the epoch; degrade through the fallback ladder rather
+        // than dying when the full pipeline cannot run.
+        let (configs, assignment, fell_back) =
+            match pamo.decide_surviving(&scenario, &pref, mask, rng) {
+                Ok(d) => match scenario.schedule_surviving(&d.configs, mask) {
+                    Ok(a) => (d.configs, a, false),
+                    Err(_) => match fallback_uniform(&scenario, &pref, mask) {
+                        Some((c, a)) => (c, a, true),
+                        None => {
+                            eprintln!(
+                                "run_online_faulted: epoch {epoch}: no feasible fallback — skipping"
+                            );
+                            any_degraded = true;
+                            drifting.advance(rng);
+                            continue;
+                        }
+                    },
+                },
+                Err(e) => {
+                    eprintln!("run_online_faulted: epoch {epoch}: decision failed ({e})");
+                    match fallback_uniform(&scenario, &pref, mask) {
+                        Some((c, a)) => (c, a, true),
+                        None => {
+                            eprintln!(
+                                "run_online_faulted: epoch {epoch}: no feasible fallback — skipping"
+                            );
+                            any_degraded = true;
+                            drifting.advance(rng);
+                            continue;
+                        }
+                    }
+                }
+            };
+
+        let online_benefit = realized_epoch_benefit(
+            &scenario,
+            &configs,
+            &assignment,
+            &pref,
+            &server_up,
+            &camera_up,
+            &survive,
+            window,
+        );
+        if !online_benefit.is_finite() {
+            eprintln!("run_online_faulted: epoch {epoch}: non-finite realized benefit — skipping");
+            any_degraded = true;
+            drifting.advance(rng);
+            continue;
+        }
+
+        if static_configs.is_none() {
+            static_configs = Some(configs.clone());
+        }
+        // The frozen epoch-0 policy, charged under the same faults.
+        let static_benefit = static_configs.as_ref().and_then(|sc| {
+            scenario.schedule(sc).ok().map(|a| {
+                realized_epoch_benefit(
+                    &scenario, sc, &a, &pref, &server_up, &camera_up, &survive, window,
+                )
+            })
+        });
+
+        let degraded = fell_back || n_alive < alive.len();
+        any_degraded |= degraded;
+        epochs.push(EpochRecord {
+            epoch,
+            divergence: drifting.divergence_from(&initial),
+            online_benefit,
+            static_benefit,
+            configs,
+            planning_bps: None,
+            alive,
+            degraded,
+        });
+        drifting.advance(rng);
+    }
+    OnlineRun {
+        epochs,
+        degraded: any_degraded,
+    }
+}
+
+/// The fallback ladder: scan the (resolution-, fps-ordered) config grid
+/// for uniform joint configurations that still admit a zero-jitter
+/// placement on the surviving servers, and keep the best one by planned
+/// benefit. Cheap by construction — the grid is small and scheduling a
+/// uniform config is a single Algorithm-1 run.
+fn fallback_uniform(
+    scenario: &Scenario,
+    pref: &TruePreference,
+    alive: Option<&[bool]>,
+) -> Option<(Vec<VideoConfig>, Assignment)> {
+    let m = scenario.n_videos();
+    let mut best: Option<(f64, Vec<VideoConfig>, Assignment)> = None;
+    for c in scenario.config_space().iter() {
+        let configs = vec![c; m];
+        let Ok(out) = scenario.evaluate_surviving(&configs, alive) else {
+            continue;
+        };
+        let b = pref.benefit(&out.outcome);
+        if !b.is_finite() {
+            continue;
+        }
+        if best.as_ref().is_none_or(|(bb, _, _)| b > *bb) {
+            best = Some((b, configs, out.assignment));
+        }
+    }
+    best.map(|(_, c, a)| (c, a))
+}
+
+/// Score a placed configuration against the *materialized* fault traces
+/// over one epoch window: per-camera accuracy scales with the fraction
+/// of frames generated (camera up), delivered (residual loss after
+/// retries) and processed (assigned server up); compute/energy scale
+/// with processing, network with transmission. Latency keeps its
+/// fault-free value — delivered frames still ride the provisioned
+/// uplink, and undelivered ones are charged through accuracy.
+#[allow(clippy::too_many_arguments)]
+fn realized_epoch_benefit(
+    scenario: &Scenario,
+    configs: &[VideoConfig],
+    assignment: &Assignment,
+    pref: &TruePreference,
+    server_up: &[AvailabilityTrace],
+    camera_up: &[AvailabilityTrace],
+    survive: &[f64],
+    (a, b): (u64, u64),
+) -> f64 {
+    let m = scenario.n_videos();
+    // A source may split across servers: use the mean up-fraction of
+    // its parts' servers as its processing availability.
+    let mut proc_frac = vec![0.0; m];
+    let mut parts = vec![0usize; m];
+    for (i, st) in assignment.streams.iter().enumerate() {
+        proc_frac[st.id.source] += server_up[assignment.server_of[i]].up_fraction(a, b);
+        parts[st.id.source] += 1;
+    }
+    for (f, p) in proc_frac.iter_mut().zip(&parts) {
+        *f /= (*p).max(1) as f64;
+    }
+
+    let mut acc = 0.0;
+    let mut net = 0.0;
+    let mut com = 0.0;
+    let mut eng = 0.0;
+    for (cam, c) in configs.iter().enumerate() {
+        let s = scenario.surfaces(cam);
+        let gen = camera_up[cam].up_fraction(a, b);
+        let delivered = gen * survive[cam] * proc_frac[cam];
+        acc += s.accuracy(c) * delivered;
+        net += s.bandwidth_bps(c) * gen;
+        com += s.compute_tflops(c) * gen * proc_frac[cam];
+        eng += s.power_w(c) * gen * proc_frac[cam];
+    }
+    let mut lat_sum = 0.0;
+    for (idx, st) in assignment.streams.iter().enumerate() {
+        let src = st.id.source;
+        let uplink = scenario.uplinks()[assignment.server_of[idx]];
+        lat_sum += scenario
+            .surfaces(src)
+            .e2e_latency_secs(&configs[src], uplink);
+    }
+    let outcome = Outcome {
+        latency_s: lat_sum / assignment.streams.len().max(1) as f64,
+        accuracy: acc / m as f64,
+        network_bps: net,
+        compute_tflops: com,
+        power_w: eng,
+    };
+    pref.benefit(&outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pamo::PreferenceSource;
+    use eva_bo::{AcqKind, BoConfig};
+    use eva_stats::rng::seeded;
+
+    fn tiny_config() -> PamoConfig {
+        PamoConfig {
+            bo: BoConfig {
+                n_init: 4,
+                batch: 2,
+                mc_samples: 16,
+                max_iters: 3,
+                delta: 0.02,
+                kind: AcqKind::QNei,
+            },
+            pool_size: 20,
+            profiling_per_camera: 20,
+            profile_noise: 0.02,
+            n_comparisons: 6,
+            elicit_candidates: 15,
+            preference: PreferenceSource::Oracle,
+        }
+    }
+
+    fn base() -> Scenario {
+        Scenario::uniform(3, 2, 20e6, 61)
+    }
+
+    #[test]
+    fn zero_fault_run_is_bit_identical_to_run_online() {
+        let sc = base();
+        let plain = {
+            let mut d = DriftingScenario::new(&sc, 0.08);
+            run_online(&mut d, &tiny_config(), [1.0; 5], 4, &mut seeded(9))
+        };
+        for plan in [None, Some(FaultPlan::none(2, 3))] {
+            let mut d = DriftingScenario::new(&sc, 0.08);
+            let faulted = run_online_faulted(
+                &mut d,
+                &tiny_config(),
+                [1.0; 5],
+                4,
+                plan.as_ref(),
+                &FaultedRunConfig::default(),
+                &mut seeded(9),
+            );
+            assert_eq!(faulted.epochs.len(), plain.epochs.len());
+            assert!(!faulted.degraded);
+            for (f, p) in faulted.epochs.iter().zip(&plain.epochs) {
+                assert_eq!(
+                    f.online_benefit.to_bits(),
+                    p.online_benefit.to_bits(),
+                    "epoch {} diverged",
+                    f.epoch
+                );
+                assert_eq!(f.configs, p.configs);
+                assert_eq!(
+                    f.static_benefit.map(f64::to_bits),
+                    p.static_benefit.map(f64::to_bits)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crashes_mark_epochs_degraded_and_mask_dead_servers() {
+        let sc = base();
+        // MTTF 20 s, MTTR 40 s on a 30 s epoch: servers are down most
+        // of the time, so some epoch must detect a dead server.
+        let plan = FaultPlan::none(2, 3).with_server_crashes(20.0, 40.0, 11);
+        let mut d = DriftingScenario::new(&sc, 0.05);
+        let run = run_online_faulted(
+            &mut d,
+            &tiny_config(),
+            [1.0; 5],
+            5,
+            Some(&plan),
+            &FaultedRunConfig::default(),
+            &mut seeded(3),
+        );
+        assert!(run.degraded, "heavy crashes must degrade the run");
+        let saw_dead = run
+            .epochs
+            .iter()
+            .any(|e| e.alive.iter().any(|&a| !a) && e.degraded);
+        assert!(
+            saw_dead || run.epochs.len() < 5,
+            "no epoch ever detected a dead server"
+        );
+        for e in &run.epochs {
+            assert!(e.online_benefit.is_finite());
+            assert_eq!(e.alive.len(), 2);
+        }
+    }
+
+    #[test]
+    fn fault_aware_beats_fault_oblivious_under_crashes() {
+        let sc = base();
+        let plan = FaultPlan::none(2, 3).with_server_crashes(25.0, 60.0, 5);
+        let run = |aware: bool| {
+            let mut d = DriftingScenario::new(&sc, 0.05);
+            run_online_faulted(
+                &mut d,
+                &tiny_config(),
+                [1.0; 5],
+                4,
+                Some(&plan),
+                &FaultedRunConfig {
+                    fault_aware: aware,
+                    ..FaultedRunConfig::default()
+                },
+                &mut seeded(7),
+            )
+        };
+        let aware = run(true).mean_online_benefit();
+        let oblivious = run(false).mean_online_benefit();
+        assert!(
+            aware >= oblivious - 1e-9,
+            "fault-aware {aware} worse than oblivious {oblivious}"
+        );
+    }
+
+    #[test]
+    fn camera_dropout_lowers_realized_benefit() {
+        let sc = base();
+        let drop = FaultPlan::none(2, 3).with_camera_dropout(10.0, 50.0, 13);
+        let run = |plan: Option<&FaultPlan>| {
+            let mut d = DriftingScenario::new(&sc, 0.0);
+            run_online_faulted(
+                &mut d,
+                &tiny_config(),
+                [1.0; 5],
+                3,
+                plan,
+                &FaultedRunConfig::default(),
+                &mut seeded(21),
+            )
+            .mean_online_benefit()
+        };
+        let clean = run(None);
+        let dropped = run(Some(&drop));
+        assert!(
+            dropped < clean,
+            "camera dropout did not hurt: {dropped} vs {clean}"
+        );
+    }
+}

@@ -22,6 +22,8 @@
 
 pub mod benefit;
 pub mod composite;
+pub mod error;
+pub mod faulted;
 pub mod models;
 pub mod online;
 pub mod pamo;
@@ -29,6 +31,8 @@ pub mod pool;
 
 pub use benefit::{normalized_benefit, OutcomeNormalizer, TruePreference};
 pub use composite::{CompositeSampler, PreferenceEval};
+pub use error::CoreError;
+pub use faulted::{run_online_faulted, FaultedRunConfig};
 pub use models::OutcomeModelBank;
 pub use online::{run_online, run_online_estimated, EpochRecord, OnlineRun};
 pub use pamo::{Pamo, PamoConfig, PamoDecision, PreferenceSource};

@@ -17,6 +17,8 @@ use eva_workload::profiler::features_of;
 use eva_workload::{Outcome, ProfileSample, Profiler, Scenario, VideoConfig, N_OBJECTIVES};
 use rand::Rng;
 
+use crate::error::CoreError;
+
 /// GPs for all cameras and objectives.
 #[derive(Debug, Clone)]
 pub struct OutcomeModelBank {
@@ -28,12 +30,16 @@ impl OutcomeModelBank {
     /// Profile every camera with `samples_per_camera` random grid
     /// configurations (uplinks drawn from the scenario's pool) and fit
     /// the 5·M GPs. `rel_noise` is the profiling measurement noise.
+    ///
+    /// Numerical failure (a kernel matrix that stays non-PD after the
+    /// Cholesky jitter ladder) is returned as
+    /// [`CoreError::OutcomeModel`], not panicked.
     pub fn fit_initial<R: Rng + ?Sized>(
         scenario: &Scenario,
         samples_per_camera: usize,
         rel_noise: f64,
         rng: &mut R,
-    ) -> Self {
+    ) -> Result<Self, CoreError> {
         assert!(samples_per_camera >= 4, "need a minimal profiling budget");
         let space = scenario.config_space();
         let mut models: Vec<Vec<GpModel>> = Vec::with_capacity(scenario.n_videos());
@@ -61,8 +67,7 @@ impl OutcomeModelBank {
                 let model = match &shared_kernels {
                     Some(kernels) => {
                         let (kernel, noise) = &kernels[obj];
-                        GpModel::new(kernel.clone(), *noise, xs.clone(), ys)
-                            .expect("GP construction with shared hypers")
+                        GpModel::new(kernel.clone(), *noise, xs.clone(), ys)?
                     }
                     None => {
                         let cfg = FitConfig {
@@ -70,7 +75,7 @@ impl OutcomeModelBank {
                             max_evals: 120,
                             ..Default::default()
                         };
-                        fit_gp(&xs, &ys, &cfg, rng).expect("initial GP fit")
+                        fit_gp(&xs, &ys, &cfg, rng)?
                     }
                 };
                 cam_models.push(model);
@@ -85,7 +90,7 @@ impl OutcomeModelBank {
             }
             models.push(cam_models);
         }
-        OutcomeModelBank { models }
+        Ok(OutcomeModelBank { models })
     }
 
     /// Number of cameras covered.
@@ -100,15 +105,31 @@ impl OutcomeModelBank {
 
     /// Condition camera `camera`'s models on a new measured sample
     /// (Algorithm 2 line 18; hyperparameters are kept).
-    pub fn update(&mut self, camera: usize, sample: &ProfileSample) {
+    ///
+    /// A conditioning failure (non-PD updated Gram matrix, non-finite
+    /// outcome) leaves the previous models of that camera in place and
+    /// reports the error — the bank degrades to a stale model rather
+    /// than poisoning the run.
+    pub fn update(&mut self, camera: usize, sample: &ProfileSample) -> Result<(), CoreError> {
         let x = sample.features();
+        if x.iter().any(|v| !v.is_finite())
+            || sample.outcome.to_vec().iter().any(|v| !v.is_finite())
+        {
+            return Err(CoreError::NonFinite {
+                context: "profile sample fed to OutcomeModelBank::update",
+            });
+        }
+        // Stage all five updated models first so a mid-way failure
+        // cannot leave the camera with a half-updated bank.
+        let mut staged = Vec::with_capacity(N_OBJECTIVES);
         for obj in 0..N_OBJECTIVES {
             let y = objective_value(&sample.outcome, obj);
-            let updated = self.models[camera][obj]
-                .with_added(std::slice::from_ref(&x), &[y])
-                .expect("conditioning update");
+            staged.push(self.models[camera][obj].with_added(std::slice::from_ref(&x), &[y])?);
+        }
+        for (obj, updated) in staged.into_iter().enumerate() {
             self.models[camera][obj] = updated;
         }
+        Ok(())
     }
 
     /// Predictive mean outcome of one camera under a config + uplink.
@@ -149,7 +170,7 @@ mod tests {
     fn bank(samples: usize) -> (Scenario, OutcomeModelBank) {
         let sc = Scenario::uniform(3, 2, 20e6, 31);
         let mut rng = seeded(1);
-        let bank = OutcomeModelBank::fit_initial(&sc, samples, 0.02, &mut rng);
+        let bank = OutcomeModelBank::fit_initial(&sc, samples, 0.02, &mut rng).unwrap();
         (sc, bank)
     }
 
@@ -185,7 +206,7 @@ mod tests {
         let mut rng = seeded(2);
         for _ in 0..3 {
             let s = profiler.measure(&c, 20e6, &mut rng);
-            bank.update(1, &s);
+            bank.update(1, &s).unwrap();
         }
         let after = bank.predict(1, &c, 20e6);
         let err = |o: &Outcome| (o.accuracy - truth.accuracy).abs();
@@ -220,7 +241,7 @@ mod tests {
             eva_workload::ConfigSpace::default(),
         );
         let mut rng = seeded(3);
-        let bank = OutcomeModelBank::fit_initial(&sc, 80, 0.01, &mut rng);
+        let bank = OutcomeModelBank::fit_initial(&sc, 80, 0.01, &mut rng).unwrap();
         let c = VideoConfig::new(1440.0, 10.0);
         let (lat_slow, _) = bank.predict_objective(0, idx::LATENCY, &c, 5e6);
         let (lat_fast, _) = bank.predict_objective(0, idx::LATENCY, &c, 30e6);

@@ -36,6 +36,12 @@ pub struct EpochRecord {
     /// Per-server planning bandwidths the epoch's decision used
     /// (`None` when planning on the true uplinks — the oracle-B path).
     pub planning_bps: Option<Vec<f64>>,
+    /// Which servers the decision was planned against (all `true` in
+    /// fault-free runs; failure-aware runs mask out down servers).
+    pub alive: Vec<bool>,
+    /// Whether this epoch served a degraded decision — a fallback
+    /// configuration or a placement on a strict subset of the servers.
+    pub degraded: bool,
 }
 
 /// Result of an online run.
@@ -43,6 +49,12 @@ pub struct EpochRecord {
 pub struct OnlineRun {
     /// One record per epoch.
     pub epochs: Vec<EpochRecord>,
+    /// Whether the run ever degraded: an epoch was skipped after a
+    /// decision failure, or served under failures. An all-failed run
+    /// has `epochs.is_empty()` and `degraded == true`; its
+    /// `mean_*_benefit` are 0.0 by construction, and this flag is what
+    /// distinguishes them from a genuine zero-benefit run.
+    pub degraded: bool,
 }
 
 impl OnlineRun {
@@ -95,6 +107,7 @@ pub fn run_online<R: Rng + ?Sized>(
 
     let mut static_configs: Option<Vec<VideoConfig>> = None;
     let mut epochs = Vec::with_capacity(n_epochs);
+    let mut skipped = false;
 
     for epoch in 0..n_epochs {
         let scenario = drifting.snapshot();
@@ -102,18 +115,39 @@ pub fn run_online<R: Rng + ?Sized>(
         // comparable (the weights, i.e. the pricing, are constant).
         let pref = TruePreference::new(&scenario, weights);
 
-        let decision = pamo
-            .decide(&scenario, &pref, rng)
-            .expect("drift keeps the floor configuration schedulable");
+        // A failed or non-finite decision degrades to a skipped epoch
+        // (the deployment keeps serving its previous configuration);
+        // it must never abort the run.
+        let decision = match pamo.decide(&scenario, &pref, rng) {
+            Ok(d) if d.true_benefit.is_finite() => d,
+            Ok(d) => {
+                eprintln!(
+                    "run_online: epoch {epoch}: non-finite benefit {} — skipping",
+                    d.true_benefit
+                );
+                skipped = true;
+                drifting.advance(rng);
+                continue;
+            }
+            Err(e) => {
+                eprintln!("run_online: epoch {epoch}: decision failed ({e}) — skipping");
+                skipped = true;
+                drifting.advance(rng);
+                continue;
+            }
+        };
         if static_configs.is_none() {
             static_configs = Some(decision.configs.clone());
         }
-        let static_benefit = static_configs.as_ref().and_then(|configs| {
-            scenario
-                .evaluate(configs)
-                .ok()
-                .map(|so| pref.benefit(&so.outcome))
-        });
+        let static_benefit = static_configs
+            .as_ref()
+            .and_then(|configs| {
+                scenario
+                    .evaluate(configs)
+                    .ok()
+                    .map(|so| pref.benefit(&so.outcome))
+            })
+            .filter(|b| b.is_finite());
 
         epochs.push(EpochRecord {
             epoch,
@@ -122,10 +156,15 @@ pub fn run_online<R: Rng + ?Sized>(
             static_benefit,
             configs: decision.configs,
             planning_bps: None,
+            alive: vec![true; scenario.n_servers()],
+            degraded: false,
         });
         drifting.advance(rng);
     }
-    OnlineRun { epochs }
+    OnlineRun {
+        epochs,
+        degraded: skipped,
+    }
 }
 
 /// Noise-free delivery samples fed per stream each epoch. Enough for an
@@ -162,6 +201,7 @@ pub fn run_online_estimated<R: Rng + ?Sized>(
 
     let mut static_configs: Option<Vec<VideoConfig>> = None;
     let mut epochs = Vec::with_capacity(n_epochs);
+    let mut skipped = false;
 
     for epoch in 0..n_epochs {
         let base: Scenario = drifting.snapshot();
@@ -184,18 +224,37 @@ pub fn run_online_estimated<R: Rng + ?Sized>(
         };
         let pref = TruePreference::new(&scenario, weights);
 
-        let decision = pamo
-            .decide(&scenario, &pref, rng)
-            .expect("drift keeps the floor configuration schedulable");
+        // Same skip-and-log degradation policy as `run_online`.
+        let decision = match pamo.decide(&scenario, &pref, rng) {
+            Ok(d) if d.true_benefit.is_finite() => d,
+            Ok(d) => {
+                eprintln!(
+                    "run_online_estimated: epoch {epoch}: non-finite benefit {} — skipping",
+                    d.true_benefit
+                );
+                skipped = true;
+                drifting.advance(rng);
+                continue;
+            }
+            Err(e) => {
+                eprintln!("run_online_estimated: epoch {epoch}: decision failed ({e}) — skipping");
+                skipped = true;
+                drifting.advance(rng);
+                continue;
+            }
+        };
         if static_configs.is_none() {
             static_configs = Some(decision.configs.clone());
         }
-        let static_benefit = static_configs.as_ref().and_then(|configs| {
-            scenario
-                .evaluate(configs)
-                .ok()
-                .map(|so| pref.benefit(&so.outcome))
-        });
+        let static_benefit = static_configs
+            .as_ref()
+            .and_then(|configs| {
+                scenario
+                    .evaluate(configs)
+                    .ok()
+                    .map(|so| pref.benefit(&so.outcome))
+            })
+            .filter(|b| b.is_finite());
 
         // Re-feed the estimators with this epoch's realized deliveries:
         // each placed stream part transmitted frames of `bits` at the
@@ -221,10 +280,15 @@ pub fn run_online_estimated<R: Rng + ?Sized>(
             static_benefit,
             configs: decision.configs,
             planning_bps: estimates.map(|est| est.iter().map(|b| b / headroom).collect()),
+            alive: vec![true; scenario.n_servers()],
+            degraded: false,
         });
         drifting.advance(rng);
     }
-    OnlineRun { epochs }
+    OnlineRun {
+        epochs,
+        degraded: skipped,
+    }
 }
 
 #[cfg(test)]
@@ -262,9 +326,12 @@ mod tests {
         assert_eq!(run.epochs.len(), 5);
         assert_eq!(run.epochs[0].divergence, 0.0);
         assert!(run.epochs[4].divergence > 0.0);
+        assert!(!run.degraded, "fault-free run must not flag degraded");
         for e in &run.epochs {
             assert!(e.online_benefit <= 0.0);
             assert_eq!(e.configs.len(), 3);
+            assert!(e.alive.iter().all(|&a| a));
+            assert!(!e.degraded);
         }
     }
 
@@ -286,11 +353,16 @@ mod tests {
 
     #[test]
     fn empty_run_benefits_are_zero_not_nan() {
-        let run = OnlineRun { epochs: vec![] };
+        // An all-failed run: no epochs survived, degraded is raised.
+        let run = OnlineRun {
+            epochs: vec![],
+            degraded: true,
+        };
         assert_eq!(run.mean_online_benefit(), 0.0);
         assert_eq!(run.mean_static_benefit(), 0.0);
         assert!(run.mean_online_benefit().is_finite());
         assert!(run.mean_static_benefit().is_finite());
+        assert!(run.degraded, "all-failed run must be flagged degraded");
     }
 
     #[test]

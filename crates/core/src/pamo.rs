@@ -10,13 +10,13 @@
 
 use eva_bo::{bo_maximize, AcqKind, BoConfig, BoResult};
 use eva_prefgp::{elicit_preferences, ElicitConfig, PreferenceModel};
-use eva_sched::GroupingError;
 use eva_workload::{Outcome, Profiler, Scenario, VideoConfig};
 use parking_lot::Mutex;
 use rand::Rng;
 
 use crate::benefit::{OutcomeNormalizer, TruePreference, TruePreferenceOracle};
 use crate::composite::{CompositeSampler, PreferenceEval, INFEASIBLE_BENEFIT};
+use crate::error::CoreError;
 use crate::models::OutcomeModelBank;
 use crate::pool::{build_pool, decode_joint};
 
@@ -119,12 +119,32 @@ impl Pamo {
     /// Run Algorithm 2 on a scenario. `true_pref` plays the decision
     /// maker (answering comparisons for PaMO; evaluated directly for
     /// PaMO+) and scores the final decision.
+    ///
+    /// Every failure mode — infeasible placement, GP numerics,
+    /// preference-model breakdown — comes back as a [`CoreError`]; this
+    /// path never panics.
     pub fn decide<R: Rng + ?Sized>(
         &self,
         scenario: &Scenario,
         true_pref: &TruePreference,
         rng: &mut R,
-    ) -> Result<PamoDecision, GroupingError> {
+    ) -> Result<PamoDecision, CoreError> {
+        self.decide_surviving(scenario, true_pref, None, rng)
+    }
+
+    /// Failure-aware Algorithm 2: identical to [`Pamo::decide`] but
+    /// Algorithm-1 placement (both inside the BO loop and for the final
+    /// recommendation) is restricted to the servers marked `true` in
+    /// `alive`. With `alive = None` (or all-true) this is exactly the
+    /// unrestricted pipeline — bit-identical decisions — which keeps
+    /// the zero-fault online path identical to the fault-oblivious one.
+    pub fn decide_surviving<R: Rng + ?Sized>(
+        &self,
+        scenario: &Scenario,
+        true_pref: &TruePreference,
+        alive: Option<&[bool]>,
+        rng: &mut R,
+    ) -> Result<PamoDecision, CoreError> {
         let cfg = &self.config;
         let normalizer = OutcomeNormalizer::for_scenario(scenario);
 
@@ -134,7 +154,7 @@ impl Pamo {
             cfg.profiling_per_camera,
             cfg.profile_noise,
             rng,
-        );
+        )?;
 
         // (2) System preference modeling.
         let pool = build_pool(scenario, cfg.pool_size, rng);
@@ -150,7 +170,7 @@ impl Pamo {
         let bank = Mutex::new(bank);
         let objective = |x: &[f64]| -> f64 {
             let configs = decode_joint(scenario, x);
-            let assignment = match scenario.schedule(&configs) {
+            let assignment = match scenario.schedule_surviving(&configs, alive) {
                 Ok(a) => a,
                 Err(_) => return INFEASIBLE_BENEFIT,
             };
@@ -187,8 +207,13 @@ impl Pamo {
         // Final recommendation: best observed joint config, scored by
         // the *true* preference on the *noise-free* outcome.
         let configs = decode_joint(scenario, &bo.best_x);
-        let outcome = scenario.evaluate(&configs)?.outcome;
+        let outcome = scenario.evaluate_surviving(&configs, alive)?.outcome;
         let true_benefit = true_pref.benefit(&outcome);
+        if !true_benefit.is_finite() {
+            return Err(CoreError::NonFinite {
+                context: "PamoDecision::true_benefit",
+            });
+        }
         Ok(PamoDecision {
             configs,
             outcome,
@@ -208,7 +233,7 @@ impl Pamo {
         true_pref: &TruePreference,
         pool: &[Vec<f64>],
         rng: &mut R,
-    ) -> Result<PreferenceModel, GroupingError> {
+    ) -> Result<PreferenceModel, CoreError> {
         let sampler = CompositeSampler::new(
             scenario,
             bank.clone(),
@@ -224,15 +249,15 @@ impl Pamo {
                 candidates.push(normalizer.normalize(&outcome));
             }
         }
-        assert!(
-            candidates.len() >= 2,
-            "elicitation needs at least two predicted outcomes"
-        );
+        if candidates.len() < 2 {
+            // Not enough predictable outcomes to pose a single
+            // comparison — surface it instead of asserting.
+            return Err(CoreError::Preference(eva_prefgp::PrefError::Empty));
+        }
         let mut oracle = TruePreferenceOracle::new(true_pref);
         let mut elicit_cfg = ElicitConfig::for_dim(eva_workload::N_OBJECTIVES);
         elicit_cfg.n_comparisons = self.config.n_comparisons;
-        let (model, _) = elicit_preferences(&mut oracle, &candidates, &elicit_cfg, rng)
-            .expect("preference elicitation failed");
+        let (model, _) = elicit_preferences(&mut oracle, &candidates, &elicit_cfg, rng)?;
         Ok(model)
     }
 }
@@ -270,7 +295,9 @@ pub fn measure_aggregate(
         eng += sample.outcome.power_w;
         lat += sample.outcome.latency_s;
         if let Some(bank) = update_bank.as_deref_mut() {
-            bank.update(cam, &sample);
+            // A conditioning failure keeps the camera's previous models
+            // (stale beats poisoned); the measurement itself still counts.
+            let _ = bank.update(cam, &sample);
         }
     }
     Some(Outcome {

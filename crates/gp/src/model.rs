@@ -117,11 +117,10 @@ impl GpModel {
         debug_assert_eq!(x.len(), self.dim(), "predict: dim mismatch");
         let kx: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, x)).collect();
         let mean_z = vecops::dot(&kx, &self.alpha);
-        // var = k(x,x) - kx^T (K+σ²I)^{-1} kx
-        let v = self
-            .chol
-            .quad_form(&kx)
-            .expect("factorization dimension is consistent by construction");
+        // var = k(x,x) - kx^T (K+σ²I)^{-1} kx. The factorization
+        // dimension is consistent by construction; if it ever were not,
+        // fall back to the (conservative) prior variance.
+        let v = self.chol.quad_form(&kx).unwrap_or(0.0);
         let var_z = (self.kernel.eval(x, x) - v).max(0.0);
         (
             self.y_mean + self.y_std * mean_z,

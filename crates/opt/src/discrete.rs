@@ -135,7 +135,8 @@ pub fn exhaustive_best(space: &DiscreteSpace, mut f: impl FnMut(&[f64]) -> f64) 
             best_x = Some(x);
         }
     }
-    (best_x.expect("exhaustive_best: empty space"), best_v)
+    // An empty space yields the empty point at +inf rather than a panic.
+    (best_x.unwrap_or_default(), best_v)
 }
 
 #[cfg(test)]

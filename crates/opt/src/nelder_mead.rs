@@ -106,7 +106,7 @@ pub fn nelder_mead(
     while evals < opts.max_evals {
         // Order simplex by value.
         let mut order: Vec<usize> = (0..=n).collect();
-        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+        order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
         let reordered: Vec<Vec<f64>> = order.iter().map(|&i| simplex[i].clone()).collect();
         let revalues: Vec<f64> = order.iter().map(|&i| values[i]).collect();
         simplex = reordered;

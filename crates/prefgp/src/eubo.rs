@@ -15,10 +15,14 @@ use crate::dataset::{DecisionMaker, PreferenceDataset};
 use crate::model::{PrefError, PreferenceModel};
 
 /// Closed-form `E[max(g(y1), g(y2))]` under the model posterior.
+///
+/// A two-point posterior cannot fail on a fitted model; should the
+/// numerics misbehave anyway, the pair scores `-inf` and is never
+/// selected.
 pub fn eubo_pair_value(model: &PreferenceModel, y1: &[f64], y2: &[f64]) -> f64 {
-    let (mean, cov) = model
-        .posterior_joint(&[y1.to_vec(), y2.to_vec()])
-        .expect("two-point posterior cannot fail on a fitted model");
+    let Ok((mean, cov)) = model.posterior_joint(&[y1.to_vec(), y2.to_vec()]) else {
+        return f64::NEG_INFINITY;
+    };
     e_max_bivariate(mean[0], mean[1], cov[(0, 0)], cov[(1, 1)], cov[(0, 1)])
 }
 
@@ -97,7 +101,11 @@ pub fn elicit_preferences<D: DecisionMaker + ?Sized, R: Rng + ?Sized>(
                 best = Some(((i, j), v));
             }
         }
-        let ((i, j), _) = best.expect("pairs_per_round > 0");
+        // No scorable pair (pairs_per_round = 0 or every posterior
+        // failed): stop asking rather than loop forever.
+        let Some(((i, j), _)) = best else {
+            break;
+        };
         data.query(oracle, &candidates[i], &candidates[j]);
         model = PreferenceModel::fit(&data, config.kernel.clone(), config.lambda)?;
     }

@@ -179,11 +179,15 @@ impl PreferenceModel {
     }
 
     /// Posterior mean and variance of the latent utility at `y`.
+    ///
+    /// A single-point posterior cannot fail after a successful fit; in
+    /// the impossible event that it does, fall back to the prior
+    /// (mean 0, full kernel variance).
     pub fn predict_utility(&self, y: &[f64]) -> (f64, f64) {
-        let (mean, cov) = self
-            .posterior_joint(std::slice::from_ref(&y.to_vec()))
-            .expect("single-point posterior cannot fail after successful fit");
-        (mean[0], cov[(0, 0)].max(0.0))
+        match self.posterior_joint(std::slice::from_ref(&y.to_vec())) {
+            Ok((mean, cov)) => (mean[0], cov[(0, 0)].max(0.0)),
+            Err(_) => (0.0, self.kernel.eval(y, y).max(0.0)),
+        }
     }
 
     /// Joint posterior (mean, covariance) of the latent utility at a set
@@ -211,9 +215,11 @@ impl PreferenceModel {
     /// Probability that `a ≻ b` under the posterior (integrating both
     /// the latent uncertainty and the probit response noise).
     pub fn prob_prefers(&self, a: &[f64], b: &[f64]) -> f64 {
-        let (mean, cov) = self
-            .posterior_joint(&[a.to_vec(), b.to_vec()])
-            .expect("two-point posterior cannot fail after successful fit");
+        // A failed posterior (impossible after a successful fit) means
+        // total ignorance: 50/50.
+        let Ok((mean, cov)) = self.posterior_joint(&[a.to_vec(), b.to_vec()]) else {
+            return 0.5;
+        };
         let mu = mean[0] - mean[1];
         let var = (cov[(0, 0)] + cov[(1, 1)] - 2.0 * cov[(0, 1)]).max(0.0);
         let c = std::f64::consts::SQRT_2 * self.lambda;

@@ -87,7 +87,9 @@ pub fn fit_selected(
             best = Some((hyper, acc));
         }
     }
-    let (hyper, acc) = best.expect("non-empty grid");
+    let Some((hyper, acc)) = best else {
+        return Err(PrefError::Empty);
+    };
     let kernel = Kernel::isotropic(KernelType::Rbf, dim, hyper.lengthscale, 1.0);
     let model = PreferenceModel::fit(data, kernel, hyper.lambda)?;
     Ok((model, hyper, acc))

@@ -54,6 +54,25 @@ pub fn assign_groups_to_servers(
     bits_per_frame: &[f64],
     uplink_bps: &[f64],
 ) -> Result<Assignment, GroupingError> {
+    assign_groups_to_surviving_servers(streams, bits_per_frame, uplink_bps, None)
+}
+
+/// Failure-aware Algorithm 1: identical to [`assign_groups_to_servers`]
+/// but restricted to the servers marked `true` in `alive` — dead servers
+/// receive no groups and contribute no Hungarian columns. Server indices
+/// in the returned [`Assignment`] still refer to the *full* server list,
+/// so placements map directly onto the unreduced cluster.
+///
+/// With `alive = None` (or all-true) this is exactly the unrestricted
+/// Algorithm 1 — same operations in the same order, bit-identical
+/// output — which is what keeps the zero-fault online path identical to
+/// the fault-oblivious one.
+pub fn assign_groups_to_surviving_servers(
+    streams: &[StreamTiming],
+    bits_per_frame: &[f64],
+    uplink_bps: &[f64],
+    alive: Option<&[bool]>,
+) -> Result<Assignment, GroupingError> {
     assert_eq!(
         streams.len(),
         bits_per_frame.len(),
@@ -63,7 +82,20 @@ pub fn assign_groups_to_servers(
         uplink_bps.iter().all(|&b| b > 0.0),
         "assign: non-positive uplink bandwidth"
     );
-    let n_servers = uplink_bps.len();
+    if let Some(alive) = alive {
+        assert_eq!(
+            alive.len(),
+            uplink_bps.len(),
+            "assign: alive length mismatch"
+        );
+    }
+    // Indices of usable servers in the full list. The all-alive case
+    // keeps the identity mapping and reproduces the unrestricted path.
+    let usable: Vec<usize> = match alive {
+        Some(alive) => (0..uplink_bps.len()).filter(|&j| alive[j]).collect(),
+        None => (0..uplink_bps.len()).collect(),
+    };
+    let n_servers = usable.len();
     let split = split_high_rate(streams);
     let groups = group_streams(&split, n_servers)?;
 
@@ -77,15 +109,16 @@ pub fn assign_groups_to_servers(
         });
     }
 
-    // Cost matrix: group g on server j.
+    // Cost matrix: group g on usable server j.
     let cost: Vec<Vec<f64>> = groups
         .iter()
         .map(|g| {
             let group_bits: f64 = g.iter().map(|&i| bits_per_frame[split[i].id.source]).sum();
-            uplink_bps.iter().map(|&b| group_bits / b).collect()
+            usable.iter().map(|&j| group_bits / uplink_bps[j]).collect()
         })
         .collect();
-    let (group_server, total_comm_latency) = hungarian_min_cost(&cost);
+    let (chosen, total_comm_latency) = hungarian_min_cost(&cost);
+    let group_server: Vec<usize> = chosen.into_iter().map(|j| usable[j]).collect();
 
     let mut server_of = vec![usize::MAX; split.len()];
     for (g, members) in groups.iter().enumerate() {
@@ -93,7 +126,7 @@ pub fn assign_groups_to_servers(
             server_of[i] = group_server[g];
         }
     }
-    debug_assert!(server_of.iter().all(|&s| s < n_servers));
+    debug_assert!(server_of.iter().all(|&s| s < uplink_bps.len()));
 
     Ok(Assignment {
         streams: split,
@@ -199,6 +232,60 @@ mod tests {
         let bits = vec![1e6; 3];
         let uplinks = vec![10e6]; // one server for three mutually unpackable streams
         assert!(assign_groups_to_servers(&streams, &bits, &uplinks).is_err());
+    }
+
+    #[test]
+    fn surviving_subset_avoids_dead_servers() {
+        let streams = vec![
+            st(0, 10.0, 0.03),
+            st(1, 5.0, 0.05),
+            st(2, 20.0, 0.02),
+            st(3, 10.0, 0.04),
+        ];
+        let bits = vec![1e6, 2e6, 0.5e6, 1e6];
+        let uplinks = vec![10e6, 20e6, 30e6, 40e6];
+        let alive = vec![true, false, true, true];
+        let a =
+            assign_groups_to_surviving_servers(&streams, &bits, &uplinks, Some(&alive)).unwrap();
+        assert!(a.server_of.iter().all(|&s| s != 1), "dead server used");
+        assert!(a.server_of.iter().all(|&s| s < uplinks.len()));
+        for server in [0usize, 2, 3] {
+            let members: Vec<StreamTiming> = a
+                .streams_on(server)
+                .into_iter()
+                .map(|i| a.streams[i])
+                .collect();
+            assert!(const2_zero_jitter_ok(&members), "server {server}");
+        }
+    }
+
+    #[test]
+    fn all_alive_matches_unrestricted_bitwise() {
+        let streams = vec![st(0, 10.0, 0.03), st(1, 5.0, 0.05), st(2, 20.0, 0.02)];
+        let bits = vec![1e6, 2e6, 0.5e6];
+        let uplinks = vec![10e6, 20e6, 30e6];
+        let alive = vec![true; 3];
+        let plain = assign_groups_to_servers(&streams, &bits, &uplinks).unwrap();
+        let gated =
+            assign_groups_to_surviving_servers(&streams, &bits, &uplinks, Some(&alive)).unwrap();
+        assert_eq!(plain.server_of, gated.server_of);
+        assert_eq!(plain.group_server, gated.group_server);
+        assert_eq!(
+            plain.total_comm_latency.to_bits(),
+            gated.total_comm_latency.to_bits()
+        );
+    }
+
+    #[test]
+    fn too_many_failures_is_infeasible() {
+        // Three mutually unpackable streams, three servers, two dead.
+        let streams = vec![st(0, 10.0, 0.09), st(1, 7.0, 0.09), st(2, 11.0, 0.09)];
+        let bits = vec![1e6; 3];
+        let uplinks = vec![10e6; 3];
+        let alive = vec![false, true, false];
+        assert!(
+            assign_groups_to_surviving_servers(&streams, &bits, &uplinks, Some(&alive)).is_err()
+        );
     }
 
     #[test]

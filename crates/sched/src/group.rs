@@ -140,7 +140,7 @@ fn group_accepts(streams: &[StreamTiming], group: &[usize], candidate: StreamTim
         .iter()
         .map(|&i| streams[i].period)
         .min()
-        .expect("group_accepts called with non-empty group");
+        .unwrap_or(candidate.period);
     let t_min = t_min_group.min(candidate.period);
     // (a) harmonicity w.r.t. the union minimum.
     let harmonic = candidate.period.is_multiple_of(t_min)

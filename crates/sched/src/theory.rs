@@ -51,7 +51,9 @@ pub fn theorem3_group_ok(streams: &[StreamTiming]) -> bool {
     if streams.is_empty() {
         return true;
     }
-    let t_min = streams.iter().map(|s| s.period).min().expect("non-empty");
+    let Some(t_min) = streams.iter().map(|s| s.period).min() else {
+        return true; // unreachable: the empty group was handled above
+    };
     let harmonic = streams.iter().all(|s| s.period % t_min == 0);
     let total: Ticks = streams.iter().map(|s| s.proc).sum();
     harmonic && total <= t_min

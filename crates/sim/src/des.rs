@@ -9,6 +9,7 @@ use eva_sched::{StreamId, Ticks, TICKS_PER_SEC};
 use eva_stats::RunningStats;
 
 use crate::event::{Event, EventQueue};
+use crate::fault::{plan_stream_deliveries, service_end, SimFaults};
 
 /// Per-stream uplink binding for the time-varying-link engine: the
 /// frame size together with the materialized bandwidth trace the frame
@@ -81,6 +82,10 @@ pub struct StreamReport {
     /// Frames completing after the configured deadline (0 when the
     /// deadline is disabled).
     pub deadline_misses: u64,
+    /// Frames that never completed: camera down at capture, uplink loss
+    /// after the full retry budget, deadline give-up, or a server that
+    /// never recovered. Always 0 in fault-free runs.
+    pub dropped: u64,
 }
 
 /// Whole-simulation results.
@@ -98,6 +103,25 @@ pub struct SimReport {
     pub max_queue_len: usize,
 }
 
+impl SimReport {
+    /// Total dropped frames across all streams.
+    pub fn total_dropped(&self) -> u64 {
+        self.streams.iter().map(|s| s.dropped).sum()
+    }
+
+    /// Fraction of eligible frames that were delivered (1.0 when no
+    /// frame was measured at all).
+    pub fn delivery_rate(&self) -> f64 {
+        let delivered: u64 = self.streams.iter().map(|s| s.frames).sum();
+        let total = delivered + self.total_dropped();
+        if total == 0 {
+            1.0
+        } else {
+            delivered as f64 / total as f64
+        }
+    }
+}
+
 struct ServerState {
     queue: VecDeque<(usize, Ticks)>, // (stream index, gen_time)
     busy: bool,
@@ -111,7 +135,7 @@ struct ServerState {
 /// immediately and self-schedule a `ServerDone`. FIFO order plus
 /// deterministic tie-breaking makes runs exactly replayable.
 pub fn simulate(streams: &[SimStream], n_servers: usize, cfg: &SimConfig) -> SimReport {
-    simulate_inner(streams, None, n_servers, cfg)
+    simulate_inner(streams, None, None, n_servers, cfg)
 }
 
 /// Run the simulation with per-stream *time-varying* uplinks: frame
@@ -132,12 +156,53 @@ pub fn simulate_with_links(
         links.len(),
         "simulate_with_links: one link per stream"
     );
-    simulate_inner(streams, Some(links), n_servers, cfg)
+    simulate_inner(streams, Some(links), None, n_servers, cfg)
+}
+
+/// Run the simulation under a materialized fault schedule: camera
+/// dropout and per-attempt uplink loss (with bounded retry + backoff)
+/// shape which frames arrive and when; server crashes pause processing
+/// until recovery and straggler bursts dilate it. Frames that can never
+/// complete are counted in [`StreamReport::dropped`] instead of being
+/// left stuck.
+///
+/// An inert schedule (every process zero) delegates to the plain
+/// engine, so zero-fault runs are bit-identical to [`simulate`] /
+/// [`simulate_with_links`].
+pub fn simulate_faulted(
+    streams: &[SimStream],
+    links: Option<&[StreamLink]>,
+    faults: &SimFaults,
+    n_servers: usize,
+    cfg: &SimConfig,
+) -> SimReport {
+    if let Some(ls) = links {
+        assert_eq!(
+            streams.len(),
+            ls.len(),
+            "simulate_faulted: one link per stream"
+        );
+    }
+    if faults.is_inert() {
+        return simulate_inner(streams, links, None, n_servers, cfg);
+    }
+    assert!(
+        faults.server_up.len() >= n_servers && faults.server_slow.len() >= n_servers,
+        "simulate_faulted: missing server fault traces"
+    );
+    assert!(
+        streams
+            .iter()
+            .all(|s| s.id.source < faults.camera_up.len() && s.id.source < faults.loss.len()),
+        "simulate_faulted: missing camera fault traces"
+    );
+    simulate_inner(streams, links, Some(faults), n_servers, cfg)
 }
 
 fn simulate_inner(
     streams: &[SimStream],
     links: Option<&[StreamLink]>,
+    faults: Option<&SimFaults>,
     n_servers: usize,
     cfg: &SimConfig,
 ) -> SimReport {
@@ -151,6 +216,7 @@ fn simulate_inner(
     );
 
     let mut queue = EventQueue::new();
+    let mut drop_counts = vec![0u64; streams.len()];
     // Seed all frame arrivals within the horizon. (Arrival = end of
     // transmission; capture happened `trans` earlier.) `slot` is the
     // nominal arrival instant under the fixed-`trans` model; with a
@@ -158,31 +224,69 @@ fn simulate_inner(
     // realized transmission time and the nominal one, while capture
     // stays anchored to the slot. Slow links can reorder arrivals of
     // consecutive frames' slots; the FIFO server queue absorbs that.
-    for (i, s) in streams.iter().enumerate() {
-        let mut k: Ticks = 0;
-        loop {
-            let slot = s.phase + k * s.period;
-            if slot >= cfg.horizon {
-                break;
-            }
-            // Capture time; saturates at 0 for the first frames whose
-            // transmission would have started before t = 0.
-            let gen_time = slot.saturating_sub(s.trans);
-            let arrival = match links.map(|ls| &ls[i]) {
-                None => slot,
-                Some(link) => {
-                    let d = secs_to_ticks(link.bits_per_frame / link.trace.rate_at(gen_time));
-                    (slot + d).saturating_sub(s.trans)
+    match faults {
+        None => {
+            for (i, s) in streams.iter().enumerate() {
+                let mut k: Ticks = 0;
+                loop {
+                    let slot = s.phase + k * s.period;
+                    if slot >= cfg.horizon {
+                        break;
+                    }
+                    // Capture time; saturates at 0 for the first frames
+                    // whose transmission would have started before t = 0.
+                    let gen_time = slot.saturating_sub(s.trans);
+                    let arrival = match links.map(|ls| &ls[i]) {
+                        None => slot,
+                        Some(link) => {
+                            let d =
+                                secs_to_ticks(link.bits_per_frame / link.trace.rate_at(gen_time));
+                            (slot + d).saturating_sub(s.trans)
+                        }
+                    };
+                    queue.push(
+                        arrival,
+                        Event::FrameArrival {
+                            stream: i,
+                            gen_time,
+                        },
+                    );
+                    k += 1;
                 }
-            };
-            queue.push(
-                arrival,
-                Event::FrameArrival {
-                    stream: i,
-                    gen_time,
-                },
-            );
-            k += 1;
+            }
+        }
+        Some(f) => {
+            // Faulted path: frame fates (camera dropout, loss, retry,
+            // deadline give-up) are planned up front, deterministically.
+            for (i, s) in streams.iter().enumerate() {
+                let planned = plan_stream_deliveries(
+                    i,
+                    s,
+                    links.map(|ls| &ls[i]),
+                    &f.camera_up[s.id.source],
+                    &f.loss[s.id.source],
+                    &f.retry,
+                    cfg,
+                );
+                for pf in planned {
+                    match pf.arrival {
+                        Some(t) => queue.push(
+                            t,
+                            Event::FrameArrival {
+                                stream: i,
+                                gen_time: pf.gen_time,
+                            },
+                        ),
+                        // Eligibility mirrors the completion path: keyed
+                        // to the nominal arrival slot.
+                        None => {
+                            if pf.gen_time + s.trans >= cfg.warmup {
+                                drop_counts[i] += 1;
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -217,12 +321,17 @@ fn simulate_inner(
                         &mut servers,
                         &mut in_flight,
                         &mut queue,
+                        faults,
+                        cfg,
                     );
                 }
             }
             Event::ServerDone { server } => {
-                let (stream, gen_time, start) =
-                    in_flight[server].take().expect("ServerDone without work");
+                // A spurious completion (no in-flight frame) is a
+                // no-op, not a panic.
+                let Some((stream, gen_time, start)) = in_flight[server].take() else {
+                    continue;
+                };
                 servers[server].busy = false;
                 // Utilization accounting is clipped to the measured
                 // window [warmup, horizon].
@@ -252,8 +361,25 @@ fn simulate_inner(
                         &mut servers,
                         &mut in_flight,
                         &mut queue,
+                        faults,
+                        cfg,
                     );
                 }
+            }
+        }
+    }
+
+    // Frames stranded on servers that never recovered count as dropped
+    // (the queue drained: any leftover work can never complete).
+    for (sv_idx, sv) in servers.iter().enumerate() {
+        if let Some((stream, gen_time, _)) = in_flight[sv_idx] {
+            if gen_time + streams[stream].trans >= cfg.warmup {
+                drop_counts[stream] += 1;
+            }
+        }
+        for &(stream, gen_time) in &sv.queue {
+            if gen_time + streams[stream].trans >= cfg.warmup {
+                drop_counts[stream] += 1;
             }
         }
     }
@@ -267,6 +393,7 @@ fn simulate_inner(
             jitter_s: lat_stats[i].range(),
             frames: frame_counts[i],
             deadline_misses: miss_counts[i],
+            dropped: drop_counts[i],
             latency: lat_stats[i].clone(),
         })
         .collect();
@@ -283,6 +410,7 @@ fn simulate_inner(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn start_next(
     server: usize,
     now: Ticks,
@@ -290,12 +418,32 @@ fn start_next(
     servers: &mut [ServerState],
     in_flight: &mut [Option<(usize, Ticks, Ticks)>],
     queue: &mut EventQueue,
+    faults: Option<&SimFaults>,
+    cfg: &SimConfig,
 ) {
     let sv = &mut servers[server];
-    let (stream, gen_time) = sv.queue.pop_front().expect("start_next on empty queue");
+    let Some((stream, gen_time)) = sv.queue.pop_front() else {
+        return; // nothing queued — spurious call, not a panic
+    };
     sv.busy = true;
     in_flight[server] = Some((stream, gen_time, now));
-    queue.push(now + streams[stream].proc, Event::ServerDone { server });
+    let done = match faults {
+        None => Some(now + streams[stream].proc),
+        // Crashes pause processing until recovery; stragglers dilate
+        // it. A frame that cannot finish within twice the horizon (or
+        // on a server that never recovers) gets no completion event and
+        // is counted as dropped when the queue drains.
+        Some(f) => service_end(
+            now,
+            streams[stream].proc,
+            &f.server_up[server],
+            &f.server_slow[server],
+            cfg.horizon.saturating_mul(2),
+        ),
+    };
+    if let Some(t) = done {
+        queue.push(t, Event::ServerDone { server });
+    }
 }
 
 #[cfg(test)]

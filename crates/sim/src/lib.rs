@@ -22,14 +22,18 @@
 
 pub mod des;
 pub mod event;
+pub mod fault;
 pub mod runner;
 pub mod tandem;
 
 pub use des::{
-    simulate, simulate_with_links, SimConfig, SimReport, SimStream, StreamLink, StreamReport,
+    simulate, simulate_faulted, simulate_with_links, SimConfig, SimReport, SimStream, StreamLink,
+    StreamReport,
 };
+pub use fault::{plan_stream_deliveries, service_end, PlannedFrame, SimFaults};
 pub use runner::{
-    simulate_scenario, simulate_scenario_with_deadline, PhasePolicy, ScenarioSimReport,
+    simulate_scenario, simulate_scenario_faulted, simulate_scenario_with_deadline, PhasePolicy,
+    ScenarioSimReport,
 };
 pub use tandem::{
     simulate_shared_uplink, simulate_shared_uplink_with_links, TandemReport, TandemStreamReport,

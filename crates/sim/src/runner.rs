@@ -5,7 +5,10 @@ use eva_sched::theory::zero_jitter_offsets;
 use eva_sched::{Assignment, StreamTiming, Ticks, TICKS_PER_SEC};
 use eva_workload::{Scenario, VideoConfig};
 
-use crate::des::{simulate, simulate_with_links, SimConfig, SimReport, SimStream, StreamLink};
+use crate::des::{
+    simulate, simulate_faulted, simulate_with_links, SimConfig, SimReport, SimStream, StreamLink,
+};
+use crate::fault::SimFaults;
 
 /// How stream arrival phases are chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +59,51 @@ pub fn simulate_scenario_with_deadline(
     horizon_secs: f64,
     deadline_secs: f64,
 ) -> ScenarioSimReport {
+    simulate_scenario_inner(
+        scenario,
+        configs,
+        assignment,
+        policy,
+        horizon_secs,
+        deadline_secs,
+        false,
+    )
+}
+
+/// [`simulate_scenario_with_deadline`] with the scenario's attached
+/// [`eva_workload::Scenario::fault_plan`] injected: camera dropout and
+/// per-frame loss (with bounded retry) shape arrivals, server crashes
+/// pause processing, stragglers dilate it. Without a plan — or with a
+/// zero plan — this is bit-identical to the fault-oblivious path.
+pub fn simulate_scenario_faulted(
+    scenario: &Scenario,
+    configs: &[VideoConfig],
+    assignment: &Assignment,
+    policy: PhasePolicy,
+    horizon_secs: f64,
+    deadline_secs: f64,
+) -> ScenarioSimReport {
+    simulate_scenario_inner(
+        scenario,
+        configs,
+        assignment,
+        policy,
+        horizon_secs,
+        deadline_secs,
+        true,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simulate_scenario_inner(
+    scenario: &Scenario,
+    configs: &[VideoConfig],
+    assignment: &Assignment,
+    policy: PhasePolicy,
+    horizon_secs: f64,
+    deadline_secs: f64,
+    with_faults: bool,
+) -> ScenarioSimReport {
     assert_eq!(
         configs.len(),
         scenario.n_videos(),
@@ -71,9 +119,17 @@ pub fn simulate_scenario_with_deadline(
             let members = assignment.streams_on(server);
             let timings: Vec<StreamTiming> =
                 members.iter().map(|&i| assignment.streams[i]).collect();
-            let offsets = zero_jitter_offsets(&timings).expect(
-                "assignment violates Const2 — Algorithm 1 must not produce such placements",
-            );
+            // Algorithm 1 must not produce Const2-violating placements;
+            // if a caller hands us one anyway, degrade to all-zero
+            // phases on that server (measured jitter will expose it)
+            // instead of tearing the simulation down.
+            let Some(offsets) = zero_jitter_offsets(&timings) else {
+                eprintln!(
+                    "simulate_scenario: server {server} violates Const2 — \
+                     falling back to zero phases"
+                );
+                continue;
+            };
             for (&idx, &off) in members.iter().zip(&offsets) {
                 phase_of[idx] = off;
             }
@@ -110,25 +166,33 @@ pub fn simulate_scenario_with_deadline(
 
     // One materialized trace per camera (split parts of one camera
     // share its radio and therefore its trace).
-    let report = match scenario.link_models() {
-        None => simulate(&sim_streams, n_servers, &cfg),
-        Some(models) => {
-            let traces: Vec<LinkTrace> = models.iter().map(|m| m.trace(cfg.horizon)).collect();
-            let links: Vec<StreamLink> = assignment
-                .streams
-                .iter()
-                .map(|st| {
-                    let src = st.id.source;
-                    StreamLink {
-                        bits_per_frame: scenario
-                            .surfaces(src)
-                            .bits_per_frame(configs[src].resolution),
-                        trace: traces[src].clone(),
-                    }
-                })
-                .collect();
-            simulate_with_links(&sim_streams, &links, n_servers, &cfg)
-        }
+    let links: Option<Vec<StreamLink>> = scenario.link_models().map(|models| {
+        let traces: Vec<LinkTrace> = models.iter().map(|m| m.trace(cfg.horizon)).collect();
+        assignment
+            .streams
+            .iter()
+            .map(|st| {
+                let src = st.id.source;
+                StreamLink {
+                    bits_per_frame: scenario
+                        .surfaces(src)
+                        .bits_per_frame(configs[src].resolution),
+                    trace: traces[src].clone(),
+                }
+            })
+            .collect()
+    });
+    let faults = if with_faults {
+        scenario
+            .fault_plan()
+            .map(|plan| SimFaults::materialize(plan, cfg.horizon + 1))
+    } else {
+        None
+    };
+    let report = match (faults, links) {
+        (Some(f), links) => simulate_faulted(&sim_streams, links.as_deref(), &f, n_servers, &cfg),
+        (None, Some(links)) => simulate_with_links(&sim_streams, &links, n_servers, &cfg),
+        (None, None) => simulate(&sim_streams, n_servers, &cfg),
     };
 
     // Eq. 5 analytic prediction over the same (post-split) stream set.

@@ -160,8 +160,14 @@ fn tandem_inner(
             Event::ServerDone { server } => {
                 let sv = server / 2;
                 if server % 2 == 0 {
-                    // Uplink finished: frame moves to the CPU FIFO.
-                    let frame = link_frame[sv].take().expect("link done without frame");
+                    // Uplink finished: frame moves to the CPU FIFO. A
+                    // done-event with no in-flight frame would be an
+                    // engine bug; tolerate it as a no-op rather than
+                    // panicking mid-simulation.
+                    let Some(frame) = link_frame[sv].take() else {
+                        debug_assert!(false, "link done without frame");
+                        continue;
+                    };
                     link_q[sv].busy = false;
                     cpus[sv].queue.push_back(frame);
                     if !cpus[sv].busy {
@@ -179,8 +185,12 @@ fn tandem_inner(
                         );
                     }
                 } else {
-                    // CPU finished: frame completes.
-                    let frame = cpu_frame[sv].take().expect("cpu done without frame");
+                    // CPU finished: frame completes (same no-op
+                    // tolerance as the uplink stage).
+                    let Some(frame) = cpu_frame[sv].take() else {
+                        debug_assert!(false, "cpu done without frame");
+                        continue;
+                    };
                     cpus[sv].busy = false;
                     if frame.gen_time >= cfg.warmup {
                         let lat = (now - frame.gen_time) as f64 / TICKS_PER_SEC as f64;
@@ -222,7 +232,12 @@ fn start_link(
     link_frame: &mut [Option<Frame>],
     queue: &mut EventQueue,
 ) {
-    let frame = link_q[sv].queue.pop_front().expect("start_link: empty");
+    // Callers only start the station when the FIFO is non-empty; an
+    // empty pop is a no-op, not a panic.
+    let Some(frame) = link_q[sv].queue.pop_front() else {
+        debug_assert!(false, "start_link: empty");
+        return;
+    };
     link_q[sv].busy = true;
     // Service time: nominal `trans`, or `bits / B(now)` sampled from the
     // link trace at transmission start (quasi-static per frame).
@@ -242,7 +257,10 @@ fn start_cpu(
     cpu_frame: &mut [Option<Frame>],
     queue: &mut EventQueue,
 ) {
-    let frame = cpus[sv].queue.pop_front().expect("start_cpu: empty");
+    let Some(frame) = cpus[sv].queue.pop_front() else {
+        debug_assert!(false, "start_cpu: empty");
+        return;
+    };
     cpus[sv].busy = true;
     let proc = streams[frame.stream].proc;
     cpu_frame[sv] = Some(frame);

@@ -125,29 +125,18 @@ impl ConfigSpace {
     /// Snap an arbitrary `[0,1]²` point back to the nearest grid config.
     pub fn denormalize_snap(&self, u: &[f64]) -> VideoConfig {
         assert_eq!(u.len(), 2, "denormalize_snap: expected 2-d input");
-        let r_target = u[0] * self.resolutions.last().unwrap();
-        let s_target = u[1] * self.frame_rates.last().unwrap();
-        let r = *self
-            .resolutions
-            .iter()
-            .min_by(|&&a, &&b| {
-                (a - r_target)
-                    .abs()
-                    .partial_cmp(&(b - r_target).abs())
-                    .unwrap()
-            })
-            .unwrap();
-        let s = *self
-            .frame_rates
-            .iter()
-            .min_by(|&&a, &&b| {
-                (a - s_target)
-                    .abs()
-                    .partial_cmp(&(b - s_target).abs())
-                    .unwrap()
-            })
-            .unwrap();
-        VideoConfig::new(r, s)
+        let nearest = |grid: &[f64], target: f64| -> f64 {
+            grid.iter()
+                .copied()
+                .min_by(|a, b| (a - target).abs().total_cmp(&(b - target).abs()))
+                .unwrap_or(target)
+        };
+        let r_target = u[0] * self.resolutions.last().copied().unwrap_or(1.0);
+        let s_target = u[1] * self.frame_rates.last().copied().unwrap_or(1.0);
+        VideoConfig::new(
+            nearest(&self.resolutions, r_target),
+            nearest(&self.frame_rates, s_target),
+        )
     }
 }
 

@@ -30,6 +30,7 @@ pub mod surfaces;
 pub use clip::{mot16_library, ClipProfile};
 pub use config::{ConfigSpace, VideoConfig};
 pub use drift::DriftingScenario;
+pub use eva_fault::FaultPlan; // appears in Scenario's builder API
 pub use eva_net::LinkModel; // appears in Scenario's builder API
 pub use hetero::{PhysicalServer, Virtualization};
 pub use outcome::{Outcome, N_OBJECTIVES, OBJECTIVE_NAMES};

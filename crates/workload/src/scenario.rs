@@ -5,8 +5,11 @@
 //! Algorithm-1 placement: the quantity the BO loop optimizes and the
 //! discrete-event simulator cross-checks.
 
+use eva_fault::FaultPlan;
 use eva_net::LinkModel;
-use eva_sched::{assign_groups_to_servers, Assignment, GroupingError, StreamId, StreamTiming};
+use eva_sched::{
+    assign_groups_to_surviving_servers, Assignment, GroupingError, StreamId, StreamTiming,
+};
 use rand::Rng;
 
 use crate::clip::{clip_set, ClipProfile};
@@ -34,6 +37,9 @@ pub struct Scenario {
     /// the headroom factor): the `B̂` the schedulers believe in.
     /// `None` = plan on the true provisioned `uplink_bps` (oracle-B).
     planning_bps: Option<Vec<f64>>,
+    /// Optional fault plan (server crash/recovery, camera dropout,
+    /// frame loss, stragglers). `None` = nothing ever fails.
+    faults: Option<FaultPlan>,
 }
 
 /// Result of evaluating a joint configuration on a scenario.
@@ -61,6 +67,7 @@ impl Scenario {
             space,
             links: None,
             planning_bps: None,
+            faults: None,
         }
     }
 
@@ -101,6 +108,38 @@ impl Scenario {
     pub fn clear_planning_uplinks(mut self) -> Self {
         self.planning_bps = None;
         self
+    }
+
+    /// Attach a fault plan: seeded server crash/recovery, camera
+    /// dropout, per-frame loss, and straggler processes that the DES
+    /// and the fault-aware online loop inject. Scheduling and analytic
+    /// evaluation are unaffected until a consumer asks for the plan —
+    /// a zero plan ([`FaultPlan::is_zero`]) is observationally
+    /// identical to no plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        assert_eq!(
+            plan.servers.len(),
+            self.n_servers(),
+            "Scenario::with_fault_plan: one ServerFaults per server"
+        );
+        assert_eq!(
+            plan.cameras.len(),
+            self.n_videos(),
+            "Scenario::with_fault_plan: one CameraFaults per camera"
+        );
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Drop the fault plan (back to a fault-free world).
+    pub fn clear_fault_plan(mut self) -> Self {
+        self.faults = None;
+        self
+    }
+
+    /// The attached fault plan, when present.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The paper's standard testbed shape: `n_videos` MOT16-like clips,
@@ -191,20 +230,44 @@ impl Scenario {
     /// under an estimated-B override the scheduler optimizes against
     /// its belief, not the hidden truth.
     pub fn schedule(&self, configs: &[VideoConfig]) -> Result<Assignment, GroupingError> {
+        self.schedule_surviving(configs, None)
+    }
+
+    /// Failure-aware Algorithm 1: like [`Scenario::schedule`] but only
+    /// servers marked `true` in `alive` receive groups (server indices
+    /// in the result still refer to the full server list). `None` (or
+    /// all-true) reproduces the unrestricted placement bit-identically.
+    pub fn schedule_surviving(
+        &self,
+        configs: &[VideoConfig],
+        alive: Option<&[bool]>,
+    ) -> Result<Assignment, GroupingError> {
         let timings = self.stream_timings(configs);
         let bits: Vec<f64> = configs
             .iter()
             .enumerate()
             .map(|(i, c)| self.surfaces[i].bits_per_frame(c.resolution))
             .collect();
-        assign_groups_to_servers(&timings, &bits, self.planning_uplinks())
+        assign_groups_to_surviving_servers(&timings, &bits, self.planning_uplinks(), alive)
     }
 
     /// Evaluate the aggregate outcome of a joint configuration under the
     /// Algorithm-1 placement (Eq. 2-5). Fails when no zero-jitter
     /// placement exists.
     pub fn evaluate(&self, configs: &[VideoConfig]) -> Result<ScenarioOutcome, GroupingError> {
-        let assignment = self.schedule(configs)?;
+        self.evaluate_surviving(configs, None)
+    }
+
+    /// Failure-aware evaluation: Algorithm 1 restricted to the `alive`
+    /// servers, realized latency charged on the (true) uplinks of the
+    /// servers actually used. `None` (or all-true) reproduces
+    /// [`Scenario::evaluate`] bit-identically.
+    pub fn evaluate_surviving(
+        &self,
+        configs: &[VideoConfig],
+        alive: Option<&[bool]>,
+    ) -> Result<ScenarioOutcome, GroupingError> {
+        let assignment = self.schedule_surviving(configs, alive)?;
 
         // Per-source aggregates (splitting does not change source totals).
         let mut acc_sum = 0.0;
@@ -462,6 +525,42 @@ mod tests {
         // Same uniform uplinks everywhere -> identical realized latency
         // regardless of belief-driven placement shuffling.
         assert!((optimistic.latency_s - honest.latency_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_plan_attaches_and_clears() {
+        use eva_fault::FaultPlan;
+        let sc = small_scenario();
+        assert!(sc.fault_plan().is_none());
+        let plan = FaultPlan::none(3, 4).with_server_crashes(60.0, 10.0, 7);
+        let sc = sc.with_fault_plan(plan.clone());
+        assert_eq!(sc.fault_plan(), Some(&plan));
+        let sc = sc.clear_fault_plan();
+        assert!(sc.fault_plan().is_none());
+    }
+
+    #[test]
+    fn surviving_evaluation_matches_unrestricted_when_all_alive() {
+        let sc = small_scenario();
+        let cfgs = low_config(4);
+        let plain = sc.evaluate(&cfgs).unwrap();
+        let gated = sc
+            .evaluate_surviving(&cfgs, Some(&vec![true; sc.n_servers()]))
+            .unwrap();
+        assert_eq!(
+            plain.outcome.latency_s.to_bits(),
+            gated.outcome.latency_s.to_bits()
+        );
+        assert_eq!(plain.assignment.server_of, gated.assignment.server_of);
+    }
+
+    #[test]
+    fn surviving_evaluation_avoids_dead_servers() {
+        let sc = small_scenario();
+        let cfgs = low_config(4);
+        let alive = vec![true, false, true];
+        let out = sc.evaluate_surviving(&cfgs, Some(&alive)).unwrap();
+        assert!(out.assignment.server_of.iter().all(|&s| s != 1));
     }
 
     #[test]
