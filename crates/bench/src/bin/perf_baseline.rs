@@ -1,0 +1,292 @@
+//! Perf-baseline flight recorder: runs a pinned suite of scheduler
+//! workloads with telemetry on and emits per-phase wall-clock
+//! breakdowns as `BENCH_perf.json`.
+//!
+//! The suite pins the four code paths the scheduler spends its time in:
+//!
+//! * `online_3x2_learned` — the full PaMO pipeline (profiling + GP fit,
+//!   preference elicitation, qNEI search, Algorithm-1 placement) on a
+//!   small cluster,
+//! * `online_6x3_oracle` — the PaMO+ oracle variant at double scale,
+//!   isolating outcome-fit + BO cost from elicitation,
+//! * `faulted_3x2` — the failure-aware loop under heavy crashes
+//!   (detection, survivor re-planning, fallback ladder),
+//! * `des_shared_uplink` — the discrete-event simulator on a schedule
+//!   whose streams share server uplinks.
+//!
+//! Each workload runs under its own [`eva_obs::FlightRecorder`]; the
+//! per-phase histograms, counters and wall-clock totals land in one
+//! machine-readable JSON file (schema `eva-obs/perf-baseline/v1`).
+//!
+//! ```text
+//! cargo run --release -p eva-bench --bin perf_baseline [--quick] [--out PATH]
+//! cargo run --release -p eva-bench --bin perf_baseline -- --validate PATH
+//! ```
+//!
+//! `--validate` re-reads an emitted file and checks the schema: every
+//! workload has finite timings, and the union of phases covers the
+//! pipeline (`outcome_fit`, `pref_model`, `bo_search`, `grouping`,
+//! `assignment`, `des`). CI runs the quick suite and the validator on
+//! every PR; comparing two `BENCH_perf.json` files across commits is
+//! how a per-phase regression is caught before it lands.
+
+use std::time::Instant;
+
+use eva_bo::{AcqKind, BoConfig};
+use eva_fault::{FaultPlan, RetryPolicy};
+use eva_obs::FlightRecorder;
+use eva_sim::{simulate_scenario_with_deadline_recorded, PhasePolicy};
+use eva_stats::rng::seeded;
+use eva_workload::{DriftingScenario, Scenario, VideoConfig};
+use pamo_core::{
+    run_online_faulted_recorded, run_online_recorded, FaultedRunConfig, PamoConfig,
+    PreferenceSource,
+};
+
+/// Schema tag of the emitted file; bump on breaking layout changes.
+const SCHEMA: &str = "eva-obs/perf-baseline/v1";
+/// Phases the suite must exercise for the baseline to be trustworthy.
+const REQUIRED_PHASES: [&str; 6] = [
+    "outcome_fit",
+    "pref_model",
+    "bo_search",
+    "grouping",
+    "assignment",
+    "des",
+];
+
+fn pamo_config(quick: bool, preference: PreferenceSource) -> PamoConfig {
+    PamoConfig {
+        bo: BoConfig {
+            n_init: 4,
+            batch: 2,
+            mc_samples: 16,
+            max_iters: if quick { 3 } else { 5 },
+            delta: 0.02,
+            kind: AcqKind::QNei,
+        },
+        pool_size: if quick { 20 } else { 30 },
+        profiling_per_camera: if quick { 20 } else { 25 },
+        profile_noise: 0.02,
+        n_comparisons: 6,
+        elicit_candidates: 15,
+        preference,
+    }
+}
+
+/// One suite entry: run the workload under `rec`, return a one-line
+/// description of what ran.
+fn run_workload(name: &str, quick: bool, rec: &FlightRecorder) -> String {
+    match name {
+        "online_3x2_learned" => {
+            let n_epochs = if quick { 2 } else { 4 };
+            let base = Scenario::uniform(3, 2, 20e6, 101);
+            let mut d = DriftingScenario::new(&base, 0.05);
+            let cfg = pamo_config(quick, PreferenceSource::Learned);
+            let run = run_online_recorded(&mut d, &cfg, [1.0; 5], n_epochs, &mut seeded(11), rec);
+            format!(
+                "3 cams x 2 servers, learned preference, {n_epochs} epochs, \
+                 mean benefit {:.4}",
+                run.mean_online_benefit()
+            )
+        }
+        "online_6x3_oracle" => {
+            let n_epochs = if quick { 2 } else { 3 };
+            let base = Scenario::uniform(6, 3, 20e6, 102);
+            let mut d = DriftingScenario::new(&base, 0.05);
+            let cfg = pamo_config(quick, PreferenceSource::Oracle);
+            let run = run_online_recorded(&mut d, &cfg, [1.0; 5], n_epochs, &mut seeded(12), rec);
+            format!(
+                "6 cams x 3 servers, oracle preference, {n_epochs} epochs, \
+                 mean benefit {:.4}",
+                run.mean_online_benefit()
+            )
+        }
+        "faulted_3x2" => {
+            let n_epochs = if quick { 3 } else { 6 };
+            let base = Scenario::uniform(3, 2, 20e6, 103);
+            let plan = FaultPlan::none(2, 3)
+                .with_server_crashes(20.0, 40.0, 11)
+                .with_frame_loss(0.02, 7)
+                .with_retry(RetryPolicy::standard());
+            let mut d = DriftingScenario::new(&base, 0.05);
+            let cfg = pamo_config(quick, PreferenceSource::Oracle);
+            let run = run_online_faulted_recorded(
+                &mut d,
+                &cfg,
+                [1.0, 3.0, 1.0, 1.0, 1.0],
+                n_epochs,
+                Some(&plan),
+                &FaultedRunConfig {
+                    epoch_s: 5.0,
+                    heartbeat_s: 1.0,
+                    fault_aware: true,
+                },
+                &mut seeded(13),
+                rec,
+            );
+            format!(
+                "3 cams x 2 servers under crashes (MTTF 20 s / MTTR 40 s), \
+                 {n_epochs} epochs, mean benefit {:.4}",
+                run.mean_online_benefit()
+            )
+        }
+        "des_shared_uplink" => {
+            let horizon_s = if quick { 20.0 } else { 60.0 };
+            let base = Scenario::uniform(4, 2, 20e6, 104);
+            let space = base.config_space();
+            let mid = space.resolutions()[space.resolutions().len() / 2];
+            let fps = space.frame_rates()[0];
+            let configs = vec![VideoConfig::new(mid, fps); base.n_videos()];
+            let assignment = base.schedule(&configs).expect("mid-grid uniform fits");
+            let r = simulate_scenario_with_deadline_recorded(
+                &base,
+                &configs,
+                &assignment,
+                PhasePolicy::ZeroJitter,
+                horizon_s,
+                0.5,
+                rec,
+            );
+            let frames: u64 = r.report.streams.iter().map(|s| s.frames).sum();
+            format!(
+                "4 cams x 2 servers, zero-jitter phases, {horizon_s:.0} s horizon, \
+                 {frames} frames"
+            )
+        }
+        other => unreachable!("unknown workload {other}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut out_path = String::from("BENCH_perf.json");
+    let mut validate_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = it.next().expect("--out needs a path").clone(),
+            "--validate" => {
+                validate_path = Some(it.next().expect("--validate needs a path").clone());
+            }
+            "--quick" => {}
+            other => {
+                eprintln!("perf_baseline: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = validate_path {
+        match validate(&path) {
+            Ok(n) => println!("{path}: OK ({n} workloads, schema {SCHEMA})"),
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let suite = [
+        "online_3x2_learned",
+        "online_6x3_oracle",
+        "faulted_3x2",
+        "des_shared_uplink",
+    ];
+    println!(
+        "== perf baseline: {} suite ==",
+        if quick { "quick" } else { "full" }
+    );
+    let mut workloads = serde_json::Map::new();
+    for name in suite {
+        let rec = FlightRecorder::new();
+        let wall = Instant::now();
+        let what = run_workload(name, quick, &rec);
+        let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        let snap = rec.snapshot();
+
+        println!("\n-- {name}: {what} ({wall_ms:.0} ms) --");
+        print!("{}", snap.summary_table());
+
+        let mut entry: serde_json::Value =
+            serde_json::from_str(&snap.to_json()).expect("snapshot JSON parses");
+        if let Some(obj) = entry.as_object_mut() {
+            obj.insert("wall_ms".into(), serde_json::json!(wall_ms));
+            obj.insert("description".into(), serde_json::json!(what));
+        }
+        workloads.insert(name.to_string(), entry);
+    }
+
+    let doc = serde_json::json!({
+        "schema": SCHEMA,
+        "quick": quick,
+        "workloads": serde_json::Value::Object(workloads),
+    });
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&doc).expect("serialize baseline"),
+    )
+    .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("\n(wrote {out_path})");
+}
+
+/// Validate an emitted baseline file: schema tag, per-workload layout,
+/// finite timings, and pipeline phase coverage across the suite.
+fn validate(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    let doc: serde_json::Value = serde_json::from_str(&text).map_err(|e| format!("parse: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(|s| s.as_str())
+        .ok_or("missing schema tag")?;
+    if schema != SCHEMA {
+        return Err(format!("schema {schema:?} != {SCHEMA:?}"));
+    }
+    let workloads = doc
+        .get("workloads")
+        .and_then(|w| w.as_object())
+        .ok_or("missing workloads object")?;
+    if workloads.is_empty() {
+        return Err("empty workloads".into());
+    }
+    let mut seen_phases: Vec<String> = Vec::new();
+    for (name, entry) in workloads {
+        let wall = entry
+            .get("wall_ms")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("{name}: missing wall_ms"))?;
+        if !wall.is_finite() || wall < 0.0 {
+            return Err(format!("{name}: bad wall_ms {wall}"));
+        }
+        let phases = entry
+            .get("phases")
+            .and_then(|p| p.as_object())
+            .ok_or_else(|| format!("{name}: missing phases object"))?;
+        for (phase, stats) in phases {
+            for key in ["count", "total_ms", "mean_ms", "p50_ms", "p95_ms", "max_ms"] {
+                let v = stats
+                    .get(key)
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("{name}/{phase}: missing {key}"))?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!("{name}/{phase}: bad {key} = {v}"));
+                }
+            }
+            if !seen_phases.iter().any(|p| p == phase) {
+                seen_phases.push(phase.clone());
+            }
+        }
+        entry
+            .get("counters")
+            .and_then(|c| c.as_object())
+            .ok_or_else(|| format!("{name}: missing counters object"))?;
+    }
+    for required in REQUIRED_PHASES {
+        if !seen_phases.iter().any(|p| p == required) {
+            return Err(format!("suite never exercised phase {required:?}"));
+        }
+    }
+    Ok(workloads.len())
+}

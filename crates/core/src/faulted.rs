@@ -27,12 +27,13 @@
 
 use eva_fault::process::secs_to_ticks;
 use eva_fault::{AvailabilityTrace, FaultPlan};
+use eva_obs::{emit_warn, span, NoopRecorder, ObsEvent, Phase, Recorder};
 use eva_sched::Assignment;
 use eva_workload::{DriftingScenario, Outcome, Scenario, VideoConfig};
 use rand::Rng;
 
 use crate::benefit::TruePreference;
-use crate::online::{run_online, EpochRecord, OnlineRun};
+use crate::online::{run_online_recorded, EpochRecord, OnlineRun};
 use crate::pamo::{Pamo, PamoConfig};
 
 /// Knobs of the failure-aware online loop.
@@ -79,6 +80,34 @@ pub fn run_online_faulted<R: Rng + ?Sized>(
     cfg: &FaultedRunConfig,
     rng: &mut R,
 ) -> OnlineRun {
+    run_online_faulted_recorded(
+        drifting,
+        config,
+        weights,
+        n_epochs,
+        plan,
+        cfg,
+        rng,
+        &NoopRecorder,
+    )
+}
+
+/// [`run_online_faulted`] with telemetry: epochs run under `epoch`
+/// spans, fallback-ladder scans under `fallback` spans, liveness
+/// transitions become structured info events, and degradations become
+/// warn events (mirrored to stderr). With a [`NoopRecorder`] this is
+/// exactly the plain path — same RNG stream, bit-identical records.
+#[allow(clippy::too_many_arguments)]
+pub fn run_online_faulted_recorded<R: Rng + ?Sized>(
+    drifting: &mut DriftingScenario,
+    config: &PamoConfig,
+    weights: [f64; eva_workload::N_OBJECTIVES],
+    n_epochs: usize,
+    plan: Option<&FaultPlan>,
+    cfg: &FaultedRunConfig,
+    rng: &mut R,
+    rec: &dyn Recorder,
+) -> OnlineRun {
     assert!(n_epochs > 0, "run_online_faulted: zero epochs");
     assert!(cfg.epoch_s > 0.0, "run_online_faulted: non-positive epoch");
     assert!(
@@ -88,7 +117,7 @@ pub fn run_online_faulted<R: Rng + ?Sized>(
     let Some(plan) = plan.filter(|p| !p.is_zero()) else {
         // The observational identity: nothing can fail, so the
         // fault-free engine runs — bit-identical by delegation.
-        return run_online(drifting, config, weights, n_epochs, rng);
+        return run_online_recorded(drifting, config, weights, n_epochs, rng, rec);
     };
 
     let initial = drifting.snapshot();
@@ -120,8 +149,13 @@ pub fn run_online_faulted<R: Rng + ?Sized>(
     let mut static_configs: Option<Vec<VideoConfig>> = None;
     let mut epochs = Vec::with_capacity(n_epochs);
     let mut any_degraded = false;
+    let mut prev_alive: Option<Vec<bool>> = None;
 
     for epoch in 0..n_epochs {
+        let _epoch_span = span(rec, Phase::Epoch);
+        if rec.enabled() {
+            rec.add("online.epochs", 1);
+        }
         let scenario = drifting.snapshot();
         let pref = TruePreference::new(&scenario, weights);
         let t = epoch as u64 * epoch_len;
@@ -134,6 +168,37 @@ pub fn run_online_faulted<R: Rng + ?Sized>(
             .collect();
         let n_alive = alive.iter().filter(|&&a| a).count();
 
+        // Liveness transitions as structured info events (telemetry
+        // only — the detector itself is silent in production logs).
+        if rec.enabled() {
+            let prev = prev_alive.as_deref().unwrap_or(&[]);
+            for (server, &is_up) in alive.iter().enumerate() {
+                let was_up = prev.get(server).copied().unwrap_or(true);
+                if was_up && !is_up {
+                    rec.add("fault.detections", 1);
+                    rec.event(
+                        ObsEvent::info(
+                            "server_down_detected",
+                            format!("epoch {epoch}: server {server} detected down"),
+                        )
+                        .with("epoch", epoch)
+                        .with("server", server),
+                    );
+                } else if !was_up && is_up {
+                    rec.add("fault.restores", 1);
+                    rec.event(
+                        ObsEvent::info(
+                            "server_restored",
+                            format!("epoch {epoch}: server {server} detected back up"),
+                        )
+                        .with("epoch", epoch)
+                        .with("server", server),
+                    );
+                }
+            }
+        }
+        prev_alive = Some(alive.clone());
+
         let mask: Option<&[bool]> = if cfg.fault_aware && n_alive < alive.len() {
             Some(&alive)
         } else {
@@ -142,7 +207,14 @@ pub fn run_online_faulted<R: Rng + ?Sized>(
         if cfg.fault_aware && n_alive == 0 {
             // Whole-cluster outage: nothing to schedule on. Serve
             // nothing this epoch and retry at the next boundary.
-            eprintln!("run_online_faulted: epoch {epoch}: no servers alive — skipping");
+            emit_warn(
+                rec,
+                ObsEvent::warn(
+                    "cluster_outage",
+                    format!("run_online_faulted: epoch {epoch}: no servers alive — skipping"),
+                )
+                .with("epoch", epoch),
+            );
             any_degraded = true;
             drifting.advance(rng);
             continue;
@@ -151,14 +223,22 @@ pub fn run_online_faulted<R: Rng + ?Sized>(
         // Plan the epoch; degrade through the fallback ladder rather
         // than dying when the full pipeline cannot run.
         let (configs, assignment, fell_back) =
-            match pamo.decide_surviving(&scenario, &pref, mask, rng) {
-                Ok(d) => match scenario.schedule_surviving(&d.configs, mask) {
+            match pamo.decide_surviving_recorded(&scenario, &pref, mask, rng, rec) {
+                Ok(d) => match scenario.schedule_surviving_recorded(&d.configs, mask, rec) {
                     Ok(a) => (d.configs, a, false),
-                    Err(_) => match fallback_uniform(&scenario, &pref, mask) {
+                    Err(_) => match fallback_uniform(&scenario, &pref, mask, rec) {
                         Some((c, a)) => (c, a, true),
                         None => {
-                            eprintln!(
-                                "run_online_faulted: epoch {epoch}: no feasible fallback — skipping"
+                            emit_warn(
+                                rec,
+                                ObsEvent::warn(
+                                    "no_fallback",
+                                    format!(
+                                        "run_online_faulted: epoch {epoch}: \
+                                         no feasible fallback — skipping"
+                                    ),
+                                )
+                                .with("epoch", epoch),
                             );
                             any_degraded = true;
                             drifting.advance(rng);
@@ -167,12 +247,27 @@ pub fn run_online_faulted<R: Rng + ?Sized>(
                     },
                 },
                 Err(e) => {
-                    eprintln!("run_online_faulted: epoch {epoch}: decision failed ({e})");
-                    match fallback_uniform(&scenario, &pref, mask) {
+                    emit_warn(
+                        rec,
+                        ObsEvent::warn(
+                            "decision_failed",
+                            format!("run_online_faulted: epoch {epoch}: decision failed ({e})"),
+                        )
+                        .with("epoch", epoch),
+                    );
+                    match fallback_uniform(&scenario, &pref, mask, rec) {
                         Some((c, a)) => (c, a, true),
                         None => {
-                            eprintln!(
-                                "run_online_faulted: epoch {epoch}: no feasible fallback — skipping"
+                            emit_warn(
+                                rec,
+                                ObsEvent::warn(
+                                    "no_fallback",
+                                    format!(
+                                        "run_online_faulted: epoch {epoch}: \
+                                         no feasible fallback — skipping"
+                                    ),
+                                )
+                                .with("epoch", epoch),
                             );
                             any_degraded = true;
                             drifting.advance(rng);
@@ -181,6 +276,9 @@ pub fn run_online_faulted<R: Rng + ?Sized>(
                     }
                 }
             };
+        if fell_back && rec.enabled() {
+            rec.add("fault.fallbacks", 1);
+        }
 
         let online_benefit = realized_epoch_benefit(
             &scenario,
@@ -193,7 +291,17 @@ pub fn run_online_faulted<R: Rng + ?Sized>(
             window,
         );
         if !online_benefit.is_finite() {
-            eprintln!("run_online_faulted: epoch {epoch}: non-finite realized benefit — skipping");
+            emit_warn(
+                rec,
+                ObsEvent::warn(
+                    "non_finite_benefit",
+                    format!(
+                        "run_online_faulted: epoch {epoch}: \
+                         non-finite realized benefit — skipping"
+                    ),
+                )
+                .with("epoch", epoch),
+            );
             any_degraded = true;
             drifting.advance(rng);
             continue;
@@ -240,7 +348,9 @@ fn fallback_uniform(
     scenario: &Scenario,
     pref: &TruePreference,
     alive: Option<&[bool]>,
+    rec: &dyn Recorder,
 ) -> Option<(Vec<VideoConfig>, Assignment)> {
+    let _fallback_span = span(rec, Phase::Fallback);
     let m = scenario.n_videos();
     let mut best: Option<(f64, Vec<VideoConfig>, Assignment)> = None;
     for c in scenario.config_space().iter() {
@@ -324,6 +434,7 @@ fn realized_epoch_benefit(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::online::run_online;
     use crate::pamo::PreferenceSource;
     use eva_bo::{AcqKind, BoConfig};
     use eva_stats::rng::seeded;

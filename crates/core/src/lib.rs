@@ -32,8 +32,11 @@ pub mod pool;
 pub use benefit::{normalized_benefit, OutcomeNormalizer, TruePreference};
 pub use composite::{CompositeSampler, PreferenceEval};
 pub use error::CoreError;
-pub use faulted::{run_online_faulted, FaultedRunConfig};
+pub use faulted::{run_online_faulted, run_online_faulted_recorded, FaultedRunConfig};
 pub use models::OutcomeModelBank;
-pub use online::{run_online, run_online_estimated, EpochRecord, OnlineRun};
+pub use online::{
+    run_online, run_online_estimated, run_online_estimated_recorded, run_online_recorded,
+    EpochRecord, OnlineRun,
+};
 pub use pamo::{Pamo, PamoConfig, PamoDecision, PreferenceSource};
 pub use pool::{build_pool, decode_joint, encode_joint};

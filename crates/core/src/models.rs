@@ -12,7 +12,8 @@
 //! camera's data and reused — data (not hypers) stays per-camera. This
 //! cuts fitting cost by ~M× without hurting accuracy.
 
-use eva_gp::{fit_gp, FitConfig, GpModel};
+use eva_gp::{fit_gp_recorded, FitConfig, GpModel};
+use eva_obs::{span, NoopRecorder, Phase, Recorder};
 use eva_workload::profiler::features_of;
 use eva_workload::{Outcome, ProfileSample, Profiler, Scenario, VideoConfig, N_OBJECTIVES};
 use rand::Rng;
@@ -40,7 +41,21 @@ impl OutcomeModelBank {
         rel_noise: f64,
         rng: &mut R,
     ) -> Result<Self, CoreError> {
+        Self::fit_initial_recorded(scenario, samples_per_camera, rel_noise, rng, &NoopRecorder)
+    }
+
+    /// [`OutcomeModelBank::fit_initial`] with telemetry: the whole fit
+    /// runs under an `outcome_fit` span and per-GP fit internals go
+    /// through `rec` (a [`NoopRecorder`] makes this the plain path).
+    pub fn fit_initial_recorded<R: Rng + ?Sized>(
+        scenario: &Scenario,
+        samples_per_camera: usize,
+        rel_noise: f64,
+        rng: &mut R,
+        rec: &dyn Recorder,
+    ) -> Result<Self, CoreError> {
         assert!(samples_per_camera >= 4, "need a minimal profiling budget");
+        let _fit_span = span(rec, Phase::OutcomeFit);
         let space = scenario.config_space();
         let mut models: Vec<Vec<GpModel>> = Vec::with_capacity(scenario.n_videos());
         let mut shared_kernels: Option<Vec<(eva_gp::Kernel, f64)>> = None;
@@ -75,7 +90,7 @@ impl OutcomeModelBank {
                             max_evals: 120,
                             ..Default::default()
                         };
-                        fit_gp(&xs, &ys, &cfg, rng)?
+                        fit_gp_recorded(&xs, &ys, &cfg, rng, rec)?
                     }
                 };
                 cam_models.push(model);
@@ -89,6 +104,13 @@ impl OutcomeModelBank {
                 );
             }
             models.push(cam_models);
+        }
+        if rec.enabled() {
+            rec.add("core.outcome_fits", 1);
+            rec.observe(
+                "core.profiling_samples",
+                (samples_per_camera * scenario.n_videos()) as f64,
+            );
         }
         Ok(OutcomeModelBank { models })
     }

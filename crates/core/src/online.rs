@@ -13,6 +13,7 @@
 //! given once and reused across epochs.
 
 use eva_net::LinkEstimator;
+use eva_obs::{emit_warn, span, NoopRecorder, ObsEvent, Phase, Recorder};
 use eva_workload::{DriftingScenario, Scenario, VideoConfig};
 use rand::Rng;
 
@@ -101,6 +102,22 @@ pub fn run_online<R: Rng + ?Sized>(
     n_epochs: usize,
     rng: &mut R,
 ) -> OnlineRun {
+    run_online_recorded(drifting, config, weights, n_epochs, rng, &NoopRecorder)
+}
+
+/// [`run_online`] with telemetry: each epoch runs under an `epoch` span,
+/// skip decisions become structured warn events (still mirrored to
+/// stderr), and per-epoch counters accumulate in `rec`. With a
+/// [`NoopRecorder`] this is exactly the plain path — same RNG stream,
+/// bit-identical records.
+pub fn run_online_recorded<R: Rng + ?Sized>(
+    drifting: &mut DriftingScenario,
+    config: &PamoConfig,
+    weights: [f64; eva_workload::N_OBJECTIVES],
+    n_epochs: usize,
+    rng: &mut R,
+    rec: &dyn Recorder,
+) -> OnlineRun {
     assert!(n_epochs > 0, "run_online: zero epochs");
     let initial = drifting.snapshot();
     let pamo = Pamo::new(config.clone());
@@ -110,6 +127,10 @@ pub fn run_online<R: Rng + ?Sized>(
     let mut skipped = false;
 
     for epoch in 0..n_epochs {
+        let _epoch_span = span(rec, Phase::Epoch);
+        if rec.enabled() {
+            rec.add("online.epochs", 1);
+        }
         let scenario = drifting.snapshot();
         // Preference anchored per-epoch scenario so benefit scales stay
         // comparable (the weights, i.e. the pricing, are constant).
@@ -118,19 +139,39 @@ pub fn run_online<R: Rng + ?Sized>(
         // A failed or non-finite decision degrades to a skipped epoch
         // (the deployment keeps serving its previous configuration);
         // it must never abort the run.
-        let decision = match pamo.decide(&scenario, &pref, rng) {
+        let decision = match pamo.decide_surviving_recorded(&scenario, &pref, None, rng, rec) {
             Ok(d) if d.true_benefit.is_finite() => d,
             Ok(d) => {
-                eprintln!(
-                    "run_online: epoch {epoch}: non-finite benefit {} — skipping",
-                    d.true_benefit
+                emit_warn(
+                    rec,
+                    ObsEvent::warn(
+                        "epoch_skipped",
+                        format!(
+                            "run_online: epoch {epoch}: non-finite benefit {} — skipping",
+                            d.true_benefit
+                        ),
+                    )
+                    .with("epoch", epoch),
                 );
+                if rec.enabled() {
+                    rec.add("online.epochs_skipped", 1);
+                }
                 skipped = true;
                 drifting.advance(rng);
                 continue;
             }
             Err(e) => {
-                eprintln!("run_online: epoch {epoch}: decision failed ({e}) — skipping");
+                emit_warn(
+                    rec,
+                    ObsEvent::warn(
+                        "epoch_skipped",
+                        format!("run_online: epoch {epoch}: decision failed ({e}) — skipping"),
+                    )
+                    .with("epoch", epoch),
+                );
+                if rec.enabled() {
+                    rec.add("online.epochs_skipped", 1);
+                }
                 skipped = true;
                 drifting.advance(rng);
                 continue;
@@ -190,6 +231,31 @@ pub fn run_online_estimated<R: Rng + ?Sized>(
     headroom: f64,
     rng: &mut R,
 ) -> OnlineRun {
+    run_online_estimated_recorded(
+        drifting,
+        config,
+        weights,
+        n_epochs,
+        estimators,
+        headroom,
+        rng,
+        &NoopRecorder,
+    )
+}
+
+/// [`run_online_estimated`] with telemetry — the estimated-bandwidth
+/// analogue of [`run_online_recorded`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_online_estimated_recorded<R: Rng + ?Sized>(
+    drifting: &mut DriftingScenario,
+    config: &PamoConfig,
+    weights: [f64; eva_workload::N_OBJECTIVES],
+    n_epochs: usize,
+    estimators: &mut [Box<dyn LinkEstimator>],
+    headroom: f64,
+    rng: &mut R,
+    rec: &dyn Recorder,
+) -> OnlineRun {
     assert!(n_epochs > 0, "run_online_estimated: zero epochs");
     let initial = drifting.snapshot();
     assert_eq!(
@@ -204,6 +270,10 @@ pub fn run_online_estimated<R: Rng + ?Sized>(
     let mut skipped = false;
 
     for epoch in 0..n_epochs {
+        let _epoch_span = span(rec, Phase::Epoch);
+        if rec.enabled() {
+            rec.add("online.epochs", 1);
+        }
         let base: Scenario = drifting.snapshot();
         // A server that has never carried a stream has no observations;
         // it keeps planning at its provisioned rate (encoded as
@@ -225,19 +295,41 @@ pub fn run_online_estimated<R: Rng + ?Sized>(
         let pref = TruePreference::new(&scenario, weights);
 
         // Same skip-and-log degradation policy as `run_online`.
-        let decision = match pamo.decide(&scenario, &pref, rng) {
+        let decision = match pamo.decide_surviving_recorded(&scenario, &pref, None, rng, rec) {
             Ok(d) if d.true_benefit.is_finite() => d,
             Ok(d) => {
-                eprintln!(
-                    "run_online_estimated: epoch {epoch}: non-finite benefit {} — skipping",
-                    d.true_benefit
+                emit_warn(
+                    rec,
+                    ObsEvent::warn(
+                        "epoch_skipped",
+                        format!(
+                            "run_online_estimated: epoch {epoch}: non-finite benefit {} — skipping",
+                            d.true_benefit
+                        ),
+                    )
+                    .with("epoch", epoch),
                 );
+                if rec.enabled() {
+                    rec.add("online.epochs_skipped", 1);
+                }
                 skipped = true;
                 drifting.advance(rng);
                 continue;
             }
             Err(e) => {
-                eprintln!("run_online_estimated: epoch {epoch}: decision failed ({e}) — skipping");
+                emit_warn(
+                    rec,
+                    ObsEvent::warn(
+                        "epoch_skipped",
+                        format!(
+                            "run_online_estimated: epoch {epoch}: decision failed ({e}) — skipping"
+                        ),
+                    )
+                    .with("epoch", epoch),
+                );
+                if rec.enabled() {
+                    rec.add("online.epochs_skipped", 1);
+                }
                 skipped = true;
                 drifting.advance(rng);
                 continue;

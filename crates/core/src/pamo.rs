@@ -9,6 +9,7 @@
 //!    inside the loop (lines 12-26).
 
 use eva_bo::{bo_maximize, AcqKind, BoConfig, BoResult};
+use eva_obs::{span, NoopRecorder, Phase, Recorder};
 use eva_prefgp::{elicit_preferences, ElicitConfig, PreferenceModel};
 use eva_workload::{Outcome, Profiler, Scenario, VideoConfig};
 use parking_lot::Mutex;
@@ -145,32 +146,61 @@ impl Pamo {
         alive: Option<&[bool]>,
         rng: &mut R,
     ) -> Result<PamoDecision, CoreError> {
+        self.decide_surviving_recorded(scenario, true_pref, alive, rng, &NoopRecorder)
+    }
+
+    /// [`Pamo::decide_surviving`] with telemetry: the decision runs
+    /// under a `decide` span with per-stage sub-spans (outcome fit,
+    /// preference modeling, BO search) emitted through `rec`. With a
+    /// [`NoopRecorder`] this is exactly the plain path — same RNG
+    /// stream, bit-identical decisions.
+    pub fn decide_surviving_recorded<R: Rng + ?Sized>(
+        &self,
+        scenario: &Scenario,
+        true_pref: &TruePreference,
+        alive: Option<&[bool]>,
+        rng: &mut R,
+        rec: &dyn Recorder,
+    ) -> Result<PamoDecision, CoreError> {
+        let _decide_span = span(rec, Phase::Decide);
         let cfg = &self.config;
         let normalizer = OutcomeNormalizer::for_scenario(scenario);
 
         // (1) Outcome function fitting.
-        let bank = OutcomeModelBank::fit_initial(
+        let bank = OutcomeModelBank::fit_initial_recorded(
             scenario,
             cfg.profiling_per_camera,
             cfg.profile_noise,
             rng,
+            rec,
         )?;
 
         // (2) System preference modeling.
-        let pool = build_pool(scenario, cfg.pool_size, rng);
-        let (pref_eval, comparisons_used) = match cfg.preference {
-            PreferenceSource::Oracle => (PreferenceEval::Oracle(true_pref.clone()), 0),
-            PreferenceSource::Learned => {
-                let model = self.elicit(scenario, &bank, &normalizer, true_pref, &pool, rng)?;
-                (PreferenceEval::Learned(model), cfg.n_comparisons)
-            }
+        let (pool, pref_eval, comparisons_used) = {
+            let _pref_span = span(rec, Phase::PrefModel);
+            let pool = build_pool(scenario, cfg.pool_size, rng);
+            let (pref_eval, comparisons_used) = match cfg.preference {
+                PreferenceSource::Oracle => (PreferenceEval::Oracle(true_pref.clone()), 0),
+                PreferenceSource::Learned => {
+                    let model = self.elicit(scenario, &bank, &normalizer, true_pref, &pool, rng)?;
+                    (PreferenceEval::Learned(model), cfg.n_comparisons)
+                }
+            };
+            (pool, pref_eval, comparisons_used)
         };
+        if rec.enabled() {
+            rec.observe("core.pool_size", pool.len() as f64);
+            rec.observe("core.comparisons_used", comparisons_used as f64);
+        }
 
         // (3) Best configuration solving.
         let bank = Mutex::new(bank);
         let objective = |x: &[f64]| -> f64 {
+            if rec.enabled() {
+                rec.add("core.objective_evals", 1);
+            }
             let configs = decode_joint(scenario, x);
-            let assignment = match scenario.schedule_surviving(&configs, alive) {
+            let assignment = match scenario.schedule_surviving_recorded(&configs, alive, rec) {
                 Ok(a) => a,
                 Err(_) => return INFEASIBLE_BENEFIT,
             };
@@ -202,12 +232,21 @@ impl Pamo {
                 normalizer.clone(),
             )
         };
-        let bo = bo_maximize(objective, fit, &pool, &cfg.bo, rng);
+        let bo = {
+            let _bo_span = span(rec, Phase::BoSearch);
+            bo_maximize(objective, fit, &pool, &cfg.bo, rng)
+        };
+        if rec.enabled() {
+            rec.add("core.decisions", 1);
+            rec.observe("core.bo_observations", bo.observations.len() as f64);
+        }
 
         // Final recommendation: best observed joint config, scored by
         // the *true* preference on the *noise-free* outcome.
         let configs = decode_joint(scenario, &bo.best_x);
-        let outcome = scenario.evaluate_surviving(&configs, alive)?.outcome;
+        let outcome = scenario
+            .evaluate_surviving_recorded(&configs, alive, rec)?
+            .outcome;
         let true_benefit = true_pref.benefit(&outcome);
         if !true_benefit.is_finite() {
             return Err(CoreError::NonFinite {

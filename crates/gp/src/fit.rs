@@ -5,6 +5,7 @@
 //! normalized to roughly unit scale (the workload layer normalizes
 //! configuration knobs to \[0,1\]); the default bounds reflect that.
 
+use eva_obs::{span, NoopRecorder, Phase, Recorder};
 use eva_opt::{multi_start, NelderMeadOptions};
 use rand::Rng;
 
@@ -54,6 +55,22 @@ pub fn fit_gp<R: Rng + ?Sized>(
     config: &FitConfig,
     rng: &mut R,
 ) -> Result<GpModel> {
+    fit_gp_recorded(x, y, config, rng, &NoopRecorder)
+}
+
+/// [`fit_gp`] with telemetry: the whole fit runs under a
+/// [`Phase::GpFit`] span, and the solver's evaluation count and the
+/// Cholesky dimension are observed on `rec`. With a
+/// [`NoopRecorder`] this is bit-identical to [`fit_gp`] (which
+/// delegates here).
+pub fn fit_gp_recorded<R: Rng + ?Sized>(
+    x: &[Vec<f64>],
+    y: &[f64],
+    config: &FitConfig,
+    rng: &mut R,
+    rec: &dyn Recorder,
+) -> Result<GpModel> {
+    let _fit_span = span(rec, Phase::GpFit);
     let dim = x.first().map(|p| p.len()).unwrap_or(0);
     let n_ls = if config.ard { dim.max(1) } else { 1 };
 
@@ -96,6 +113,11 @@ pub fn fit_gp<R: Rng + ?Sized>(
         ..Default::default()
     };
     let best = multi_start(objective, &x0, &bounds, config.restarts, &opts, rng);
+    if rec.enabled() {
+        rec.add("gp.fits", 1);
+        rec.observe("gp.fit.solver_evals", best.evals as f64);
+        rec.observe("gp.cholesky.dim", x.len() as f64);
+    }
     build(&best.x)
 }
 

@@ -1,0 +1,243 @@
+//! Hand-rolled property tests for the log-linear histogram: merge
+//! algebra and quantile bracketing over randomized inputs.
+//!
+//! `eva-obs` is intentionally dependency-free, so instead of a
+//! property-testing crate these tests drive a seeded SplitMix64
+//! generator through many randomized cases; every case prints its seed
+//! in the assertion message, so a failure is reproducible directly.
+
+use eva_obs::hist::SUBBUCKETS;
+use eva_obs::LogLinearHistogram;
+
+/// SplitMix64: tiny, seedable, statistically fine for test-case
+/// generation.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A value spanning the histogram's dynamic range (log-uniform over
+    /// ~18 decades), with occasional zero / negative / subnormal-ish
+    /// outliers to exercise the under-bucket and clamping.
+    fn next_value(&mut self) -> f64 {
+        match self.next_u64() % 16 {
+            0 => 0.0,
+            1 => -self.next_f64() * 10.0,
+            2 => 1e-15 * (1.0 + self.next_f64()),
+            3 => 1e14 * (1.0 + self.next_f64()),
+            _ => {
+                let exp = self.next_f64() * 24.0 - 12.0; // 1e-12 ..= 1e12
+                10f64.powf(exp) * (1.0 + self.next_f64())
+            }
+        }
+    }
+
+    fn values(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next_value()).collect()
+    }
+
+    /// A value strictly inside the histogram's dynamic range (where the
+    /// bounded-relative-error quantile guarantee applies), with
+    /// occasional zero / negative outliers for the under-bucket.
+    fn next_in_range_value(&mut self) -> f64 {
+        match self.next_u64() % 8 {
+            0 => 0.0,
+            1 => -self.next_f64() * 10.0,
+            _ => {
+                let exp = self.next_f64() * 22.0 - 11.0; // 1e-11 ..= ~2e11
+                10f64.powf(exp) * (1.0 + self.next_f64())
+            }
+        }
+    }
+
+    fn in_range_values(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next_in_range_value()).collect()
+    }
+}
+
+fn hist_of(values: &[f64]) -> LogLinearHistogram {
+    let mut h = LogLinearHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// The merge-order-independent fingerprint of a histogram: everything
+/// except `sum`, which floating-point addition perturbs in the last
+/// bits.
+fn fingerprint(h: &LogLinearHistogram) -> (u64, u64, u64, Option<u64>, Option<u64>, Vec<u64>) {
+    (
+        h.count(),
+        h.zero_or_less(),
+        h.non_finite(),
+        h.min().map(f64::to_bits),
+        h.max().map(f64::to_bits),
+        h.occupied_buckets().iter().map(|&(_, _, c)| c).collect(),
+    )
+}
+
+#[test]
+fn merge_is_associative_and_order_independent() {
+    for seed in 0..50u64 {
+        let mut rng = SplitMix64(0xA11CE ^ seed);
+        let parts: Vec<Vec<f64>> = (0..4)
+            .map(|_| {
+                let n = 1 + (rng.next_u64() % 40) as usize;
+                rng.values(n)
+            })
+            .collect();
+
+        // (a ∪ b) ∪ (c ∪ d)
+        let mut ab = hist_of(&parts[0]);
+        ab.merge(&hist_of(&parts[1]));
+        let mut cd = hist_of(&parts[2]);
+        cd.merge(&hist_of(&parts[3]));
+        let mut tree = ab;
+        tree.merge(&cd);
+
+        // ((d ∪ c) ∪ b) ∪ a — opposite association AND opposite order.
+        let mut rev = hist_of(&parts[3]);
+        for p in [&parts[2], &parts[1], &parts[0]] {
+            rev.merge(&hist_of(p));
+        }
+
+        // One histogram fed everything directly, no merging at all.
+        let all: Vec<f64> = parts.iter().flatten().copied().collect();
+        let direct = hist_of(&all);
+
+        assert_eq!(
+            fingerprint(&tree),
+            fingerprint(&rev),
+            "seed {seed}: merge association/order changed the histogram"
+        );
+        assert_eq!(
+            fingerprint(&tree),
+            fingerprint(&direct),
+            "seed {seed}: merged histogram differs from direct recording"
+        );
+        // Quantiles are a function of the fingerprint, but check the
+        // public surface too.
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                tree.quantile(q).map(f64::to_bits),
+                direct.quantile(q).map(f64::to_bits),
+                "seed {seed}: q={q} differs between merged and direct"
+            );
+        }
+        // Sums agree up to floating-point reassociation.
+        let scale = all.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+        assert!(
+            (tree.sum() - direct.sum()).abs() <= 1e-9 * scale,
+            "seed {seed}: merged sum {} far from direct {}",
+            tree.sum(),
+            direct.sum()
+        );
+    }
+}
+
+#[test]
+fn merge_with_empty_is_identity() {
+    for seed in 0..20u64 {
+        let mut rng = SplitMix64(0xB0B ^ seed);
+        let values = {
+            let n = 1 + (rng.next_u64() % 30) as usize;
+            rng.values(n)
+        };
+        let direct = hist_of(&values);
+
+        let mut left = LogLinearHistogram::new();
+        left.merge(&direct);
+        let mut right = direct.clone();
+        right.merge(&LogLinearHistogram::new());
+
+        assert_eq!(fingerprint(&left), fingerprint(&direct), "seed {seed}");
+        assert_eq!(fingerprint(&right), fingerprint(&direct), "seed {seed}");
+        assert_eq!(left.sum().to_bits(), direct.sum().to_bits());
+        assert_eq!(right.sum().to_bits(), direct.sum().to_bits());
+    }
+}
+
+/// Exact `q`-quantile by the same rank convention the histogram
+/// documents: the order statistic of rank `⌈q·n⌉` (1-based, clamped).
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+#[test]
+fn quantile_estimates_bracket_exact_quantiles() {
+    // One bucket spans a relative width of 1/SUBBUCKETS; the geometric
+    // midpoint estimate is therefore within that relative distance of
+    // the exact order statistic (for positive values — at or below
+    // zero the estimate equals min exactly).
+    let rel_tol = 1.0 / SUBBUCKETS as f64;
+    for seed in 0..50u64 {
+        let mut rng = SplitMix64(0xC0FFEE ^ seed);
+        let values = {
+            let n = 1 + (rng.next_u64() % 200) as usize;
+            rng.in_range_values(n)
+        };
+        let h = hist_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let est = h.quantile(q).unwrap();
+            if exact > 0.0 {
+                let rel = (est - exact).abs() / exact;
+                assert!(
+                    rel <= rel_tol + 1e-12,
+                    "seed {seed}: q={q} estimate {est} off exact {exact} by {rel:.4} rel \
+                     (> {rel_tol})"
+                );
+            } else {
+                // Zero-or-less order statistic: the histogram reports
+                // `min(min, 0)`, which bounds every such value below.
+                assert!(
+                    est <= 0.0 && est <= exact,
+                    "seed {seed}: q={q} estimate {est} not a lower bound of {exact}"
+                );
+            }
+            // Always inside the exact observed range.
+            assert!(
+                est >= h.min().unwrap() && est <= h.max().unwrap(),
+                "seed {seed}: q={q} estimate {est} outside [min, max]"
+            );
+        }
+    }
+}
+
+#[test]
+fn quantiles_are_monotone_in_q() {
+    for seed in 0..30u64 {
+        let mut rng = SplitMix64(0xD1CE ^ seed);
+        let h = hist_of(&{
+            let n = 1 + (rng.next_u64() % 120) as usize;
+            rng.values(n)
+        });
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let est = h.quantile(q).unwrap();
+            assert!(
+                est >= prev,
+                "seed {seed}: quantile not monotone at q={q}: {est} < {prev}"
+            );
+            prev = est;
+        }
+    }
+}

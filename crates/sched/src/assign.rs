@@ -7,6 +7,8 @@
 //! minimized (Algorithm 1, line 20's objective
 //! `min Σ_G Σ_{i∈G} bits(r_i) / B_q`).
 
+use eva_obs::{span, NoopRecorder, Phase, Recorder};
+
 use crate::group::{group_streams, GroupingError};
 use crate::hungarian::hungarian_min_cost;
 use crate::stream::{split_high_rate, StreamTiming};
@@ -73,6 +75,27 @@ pub fn assign_groups_to_surviving_servers(
     uplink_bps: &[f64],
     alive: Option<&[bool]>,
 ) -> Result<Assignment, GroupingError> {
+    assign_groups_to_surviving_servers_recorded(
+        streams,
+        bits_per_frame,
+        uplink_bps,
+        alive,
+        &NoopRecorder,
+    )
+}
+
+/// [`assign_groups_to_surviving_servers`] with telemetry: splitting +
+/// grouping run under a [`Phase::Grouping`] span, the Hungarian
+/// matching under a [`Phase::Assignment`] span, and group/stream
+/// counts land on `rec`. With a [`NoopRecorder`] this is bit-identical
+/// to the plain entry point (which delegates here).
+pub fn assign_groups_to_surviving_servers_recorded(
+    streams: &[StreamTiming],
+    bits_per_frame: &[f64],
+    uplink_bps: &[f64],
+    alive: Option<&[bool]>,
+    rec: &dyn Recorder,
+) -> Result<Assignment, GroupingError> {
     assert_eq!(
         streams.len(),
         bits_per_frame.len(),
@@ -96,8 +119,26 @@ pub fn assign_groups_to_surviving_servers(
         None => (0..uplink_bps.len()).collect(),
     };
     let n_servers = usable.len();
-    let split = split_high_rate(streams);
-    let groups = group_streams(&split, n_servers)?;
+    let (split, grouped) = {
+        let _grouping_span = span(rec, Phase::Grouping);
+        let split = split_high_rate(streams);
+        let grouped = group_streams(&split, n_servers);
+        (split, grouped)
+    };
+    let groups = match grouped {
+        Ok(g) => g,
+        Err(e) => {
+            if rec.enabled() {
+                rec.add("sched.infeasible", 1);
+            }
+            return Err(e);
+        }
+    };
+    if rec.enabled() {
+        rec.add("sched.assignments", 1);
+        rec.observe("sched.split_streams", split.len() as f64);
+        rec.observe("sched.groups", groups.len() as f64);
+    }
 
     if groups.is_empty() {
         return Ok(Assignment {
@@ -109,6 +150,7 @@ pub fn assign_groups_to_surviving_servers(
         });
     }
 
+    let _assignment_span = span(rec, Phase::Assignment);
     // Cost matrix: group g on usable server j.
     let cost: Vec<Vec<f64>> = groups
         .iter()

@@ -27,7 +27,10 @@ pub mod oracle;
 pub mod stream;
 pub mod theory;
 
-pub use assign::{assign_groups_to_servers, assign_groups_to_surviving_servers, Assignment};
+pub use assign::{
+    assign_groups_to_servers, assign_groups_to_surviving_servers,
+    assign_groups_to_surviving_servers_recorded, Assignment,
+};
 pub use group::{group_streams, GroupingError};
 pub use hungarian::hungarian_min_cost;
 pub use stream::{split_high_rate, StreamId, StreamTiming, Ticks, TICKS_PER_SEC};

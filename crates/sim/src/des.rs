@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 
 use eva_net::link::secs_to_ticks;
 use eva_net::LinkTrace;
+use eva_obs::{span, NoopRecorder, Phase, Recorder};
 use eva_sched::{StreamId, Ticks, TICKS_PER_SEC};
 use eva_stats::RunningStats;
 
@@ -135,7 +136,20 @@ struct ServerState {
 /// immediately and self-schedule a `ServerDone`. FIFO order plus
 /// deterministic tie-breaking makes runs exactly replayable.
 pub fn simulate(streams: &[SimStream], n_servers: usize, cfg: &SimConfig) -> SimReport {
-    simulate_inner(streams, None, None, n_servers, cfg)
+    simulate_inner(streams, None, None, n_servers, cfg, &NoopRecorder)
+}
+
+/// [`simulate`] with telemetry: the run executes under a [`Phase::Des`]
+/// span and emits event/frame/miss/drop counters on `rec`. With a
+/// [`NoopRecorder`] this is bit-identical to [`simulate`] (which
+/// delegates here with one).
+pub fn simulate_recorded(
+    streams: &[SimStream],
+    n_servers: usize,
+    cfg: &SimConfig,
+    rec: &dyn Recorder,
+) -> SimReport {
+    simulate_inner(streams, None, None, n_servers, cfg, rec)
 }
 
 /// Run the simulation with per-stream *time-varying* uplinks: frame
@@ -156,7 +170,23 @@ pub fn simulate_with_links(
         links.len(),
         "simulate_with_links: one link per stream"
     );
-    simulate_inner(streams, Some(links), None, n_servers, cfg)
+    simulate_inner(streams, Some(links), None, n_servers, cfg, &NoopRecorder)
+}
+
+/// [`simulate_with_links`] with telemetry (see [`simulate_recorded`]).
+pub fn simulate_with_links_recorded(
+    streams: &[SimStream],
+    links: &[StreamLink],
+    n_servers: usize,
+    cfg: &SimConfig,
+    rec: &dyn Recorder,
+) -> SimReport {
+    assert_eq!(
+        streams.len(),
+        links.len(),
+        "simulate_with_links: one link per stream"
+    );
+    simulate_inner(streams, Some(links), None, n_servers, cfg, rec)
 }
 
 /// Run the simulation under a materialized fault schedule: camera
@@ -176,6 +206,19 @@ pub fn simulate_faulted(
     n_servers: usize,
     cfg: &SimConfig,
 ) -> SimReport {
+    simulate_faulted_recorded(streams, links, faults, n_servers, cfg, &NoopRecorder)
+}
+
+/// [`simulate_faulted`] with telemetry (see [`simulate_recorded`]);
+/// additionally counts retransmissions planned by the retry policy.
+pub fn simulate_faulted_recorded(
+    streams: &[SimStream],
+    links: Option<&[StreamLink]>,
+    faults: &SimFaults,
+    n_servers: usize,
+    cfg: &SimConfig,
+    rec: &dyn Recorder,
+) -> SimReport {
     if let Some(ls) = links {
         assert_eq!(
             streams.len(),
@@ -184,7 +227,7 @@ pub fn simulate_faulted(
         );
     }
     if faults.is_inert() {
-        return simulate_inner(streams, links, None, n_servers, cfg);
+        return simulate_inner(streams, links, None, n_servers, cfg, rec);
     }
     assert!(
         faults.server_up.len() >= n_servers && faults.server_slow.len() >= n_servers,
@@ -196,7 +239,7 @@ pub fn simulate_faulted(
             .all(|s| s.id.source < faults.camera_up.len() && s.id.source < faults.loss.len()),
         "simulate_faulted: missing camera fault traces"
     );
-    simulate_inner(streams, links, Some(faults), n_servers, cfg)
+    simulate_inner(streams, links, Some(faults), n_servers, cfg, rec)
 }
 
 fn simulate_inner(
@@ -205,7 +248,9 @@ fn simulate_inner(
     faults: Option<&SimFaults>,
     n_servers: usize,
     cfg: &SimConfig,
+    rec: &dyn Recorder,
 ) -> SimReport {
+    let _des_span = span(rec, Phase::Des);
     assert!(
         streams.iter().all(|s| s.server < n_servers),
         "simulate: stream assigned to nonexistent server"
@@ -217,6 +262,10 @@ fn simulate_inner(
 
     let mut queue = EventQueue::new();
     let mut drop_counts = vec![0u64; streams.len()];
+    // Hot-loop telemetry accumulates in locals and is emitted once at
+    // the end: no recorder dispatch inside the event loop.
+    let mut n_events = 0u64;
+    let mut n_retries = 0u64;
     // Seed all frame arrivals within the horizon. (Arrival = end of
     // transmission; capture happened `trans` earlier.) `slot` is the
     // nominal arrival instant under the fixed-`trans` model; with a
@@ -269,6 +318,7 @@ fn simulate_inner(
                     cfg,
                 );
                 for pf in planned {
+                    n_retries += u64::from(pf.attempts.saturating_sub(1));
                     match pf.arrival {
                         Some(t) => queue.push(
                             t,
@@ -307,6 +357,7 @@ fn simulate_inner(
     let mut in_flight: Vec<Option<(usize, Ticks, Ticks)>> = vec![None; n_servers];
 
     while let Some((now, event)) = queue.pop() {
+        n_events += 1;
         match event {
             Event::FrameArrival { stream, gen_time } => {
                 let sv_idx = streams[stream].server;
@@ -398,6 +449,18 @@ fn simulate_inner(
         })
         .collect();
     let max_jitter_s = reports.iter().map(|r| r.jitter_s).fold(0.0, f64::max);
+    if rec.enabled() {
+        rec.add("des.runs", 1);
+        rec.add("des.events", n_events);
+        rec.add("des.retries", n_retries);
+        rec.add("des.frames", reports.iter().map(|r| r.frames).sum());
+        rec.add(
+            "des.deadline_misses",
+            reports.iter().map(|r| r.deadline_misses).sum(),
+        );
+        rec.add("des.dropped", reports.iter().map(|r| r.dropped).sum());
+        rec.observe("des.max_queue_len", max_queue_len as f64);
+    }
     SimReport {
         streams: reports,
         server_utilization: servers

@@ -27,12 +27,13 @@ pub mod runner;
 pub mod tandem;
 
 pub use des::{
-    simulate, simulate_faulted, simulate_with_links, SimConfig, SimReport, SimStream, StreamLink,
-    StreamReport,
+    simulate, simulate_faulted, simulate_faulted_recorded, simulate_recorded, simulate_with_links,
+    simulate_with_links_recorded, SimConfig, SimReport, SimStream, StreamLink, StreamReport,
 };
 pub use fault::{plan_stream_deliveries, service_end, PlannedFrame, SimFaults};
 pub use runner::{
-    simulate_scenario, simulate_scenario_faulted, simulate_scenario_with_deadline, PhasePolicy,
+    simulate_scenario, simulate_scenario_faulted, simulate_scenario_faulted_recorded,
+    simulate_scenario_with_deadline, simulate_scenario_with_deadline_recorded, PhasePolicy,
     ScenarioSimReport,
 };
 pub use tandem::{

@@ -1,12 +1,14 @@
 //! Glue: simulate a full workload scenario under a scheduling decision.
 
 use eva_net::LinkTrace;
+use eva_obs::{emit_warn, NoopRecorder, ObsEvent, Recorder};
 use eva_sched::theory::zero_jitter_offsets;
 use eva_sched::{Assignment, StreamTiming, Ticks, TICKS_PER_SEC};
 use eva_workload::{Scenario, VideoConfig};
 
 use crate::des::{
-    simulate, simulate_faulted, simulate_with_links, SimConfig, SimReport, SimStream, StreamLink,
+    simulate_faulted_recorded, simulate_recorded, simulate_with_links_recorded, SimConfig,
+    SimReport, SimStream, StreamLink,
 };
 use crate::fault::SimFaults;
 
@@ -67,6 +69,32 @@ pub fn simulate_scenario_with_deadline(
         horizon_secs,
         deadline_secs,
         false,
+        &NoopRecorder,
+    )
+}
+
+/// [`simulate_scenario_with_deadline`] with telemetry threaded into the
+/// DES engine (see [`crate::des::simulate_recorded`]). With a
+/// [`NoopRecorder`] this is bit-identical to the plain entry point
+/// (which delegates here).
+pub fn simulate_scenario_with_deadline_recorded(
+    scenario: &Scenario,
+    configs: &[VideoConfig],
+    assignment: &Assignment,
+    policy: PhasePolicy,
+    horizon_secs: f64,
+    deadline_secs: f64,
+    rec: &dyn Recorder,
+) -> ScenarioSimReport {
+    simulate_scenario_inner(
+        scenario,
+        configs,
+        assignment,
+        policy,
+        horizon_secs,
+        deadline_secs,
+        false,
+        rec,
     )
 }
 
@@ -91,6 +119,32 @@ pub fn simulate_scenario_faulted(
         horizon_secs,
         deadline_secs,
         true,
+        &NoopRecorder,
+    )
+}
+
+/// [`simulate_scenario_faulted`] with telemetry threaded into the DES
+/// engine (see [`crate::des::simulate_faulted_recorded`]). With a
+/// [`NoopRecorder`] this is bit-identical to the plain entry point
+/// (which delegates here).
+pub fn simulate_scenario_faulted_recorded(
+    scenario: &Scenario,
+    configs: &[VideoConfig],
+    assignment: &Assignment,
+    policy: PhasePolicy,
+    horizon_secs: f64,
+    deadline_secs: f64,
+    rec: &dyn Recorder,
+) -> ScenarioSimReport {
+    simulate_scenario_inner(
+        scenario,
+        configs,
+        assignment,
+        policy,
+        horizon_secs,
+        deadline_secs,
+        true,
+        rec,
     )
 }
 
@@ -103,6 +157,7 @@ fn simulate_scenario_inner(
     horizon_secs: f64,
     deadline_secs: f64,
     with_faults: bool,
+    rec: &dyn Recorder,
 ) -> ScenarioSimReport {
     assert_eq!(
         configs.len(),
@@ -124,9 +179,16 @@ fn simulate_scenario_inner(
             // phases on that server (measured jitter will expose it)
             // instead of tearing the simulation down.
             let Some(offsets) = zero_jitter_offsets(&timings) else {
-                eprintln!(
-                    "simulate_scenario: server {server} violates Const2 — \
-                     falling back to zero phases"
+                emit_warn(
+                    rec,
+                    ObsEvent::warn(
+                        "const2_fallback",
+                        format!(
+                            "simulate_scenario: server {server} violates Const2 — \
+                             falling back to zero phases"
+                        ),
+                    )
+                    .with("server", server),
                 );
                 continue;
             };
@@ -190,9 +252,13 @@ fn simulate_scenario_inner(
         None
     };
     let report = match (faults, links) {
-        (Some(f), links) => simulate_faulted(&sim_streams, links.as_deref(), &f, n_servers, &cfg),
-        (None, Some(links)) => simulate_with_links(&sim_streams, &links, n_servers, &cfg),
-        (None, None) => simulate(&sim_streams, n_servers, &cfg),
+        (Some(f), links) => {
+            simulate_faulted_recorded(&sim_streams, links.as_deref(), &f, n_servers, &cfg, rec)
+        }
+        (None, Some(links)) => {
+            simulate_with_links_recorded(&sim_streams, &links, n_servers, &cfg, rec)
+        }
+        (None, None) => simulate_recorded(&sim_streams, n_servers, &cfg, rec),
     };
 
     // Eq. 5 analytic prediction over the same (post-split) stream set.

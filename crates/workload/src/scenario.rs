@@ -7,8 +7,9 @@
 
 use eva_fault::FaultPlan;
 use eva_net::LinkModel;
+use eva_obs::{NoopRecorder, Recorder};
 use eva_sched::{
-    assign_groups_to_surviving_servers, Assignment, GroupingError, StreamId, StreamTiming,
+    assign_groups_to_surviving_servers_recorded, Assignment, GroupingError, StreamId, StreamTiming,
 };
 use rand::Rng;
 
@@ -242,13 +243,32 @@ impl Scenario {
         configs: &[VideoConfig],
         alive: Option<&[bool]>,
     ) -> Result<Assignment, GroupingError> {
+        self.schedule_surviving_recorded(configs, alive, &NoopRecorder)
+    }
+
+    /// [`Scenario::schedule_surviving`] with telemetry threaded down to
+    /// the Algorithm-1 grouping/assignment spans. With a
+    /// [`NoopRecorder`] this is bit-identical to the plain entry point
+    /// (which delegates here).
+    pub fn schedule_surviving_recorded(
+        &self,
+        configs: &[VideoConfig],
+        alive: Option<&[bool]>,
+        rec: &dyn Recorder,
+    ) -> Result<Assignment, GroupingError> {
         let timings = self.stream_timings(configs);
         let bits: Vec<f64> = configs
             .iter()
             .enumerate()
             .map(|(i, c)| self.surfaces[i].bits_per_frame(c.resolution))
             .collect();
-        assign_groups_to_surviving_servers(&timings, &bits, self.planning_uplinks(), alive)
+        assign_groups_to_surviving_servers_recorded(
+            &timings,
+            &bits,
+            self.planning_uplinks(),
+            alive,
+            rec,
+        )
     }
 
     /// Evaluate the aggregate outcome of a joint configuration under the
@@ -267,7 +287,19 @@ impl Scenario {
         configs: &[VideoConfig],
         alive: Option<&[bool]>,
     ) -> Result<ScenarioOutcome, GroupingError> {
-        let assignment = self.schedule_surviving(configs, alive)?;
+        self.evaluate_surviving_recorded(configs, alive, &NoopRecorder)
+    }
+
+    /// [`Scenario::evaluate_surviving`] with telemetry threaded down to
+    /// the placement spans. With a [`NoopRecorder`] this is
+    /// bit-identical to the plain entry point (which delegates here).
+    pub fn evaluate_surviving_recorded(
+        &self,
+        configs: &[VideoConfig],
+        alive: Option<&[bool]>,
+        rec: &dyn Recorder,
+    ) -> Result<ScenarioOutcome, GroupingError> {
+        let assignment = self.schedule_surviving_recorded(configs, alive, rec)?;
 
         // Per-source aggregates (splitting does not change source totals).
         let mut acc_sum = 0.0;
