@@ -1,0 +1,219 @@
+//! Extension experiment: continuous serving under an arrival storm.
+//!
+//! PaMO's evaluation (and every other experiment here) replays a fixed
+//! tenant set. Real edge deployments churn: cameras come and go mid-run
+//! and servers crash and rejoin underneath them. This experiment drives
+//! `run_serving` — admission control plus event-driven rescheduling —
+//! under a Poisson arrival storm with mild server crashes, and compares
+//! two reaction disciplines on identical churn/fault/drift traces:
+//!
+//! * **event-driven** — every arrival gets an admission probe at its
+//!   arrival time and, when accepted, an incremental row repair of the
+//!   live placement; departures, failures and restores replan the same
+//!   way, immediately,
+//! * **epoch-synchronous** — the classic baseline: churn waits for the
+//!   next epoch boundary and failures are only noticed by the boundary
+//!   heartbeat check.
+//!
+//! Both re-optimize with the full PaMO pipeline at every boundary, so
+//! the comparison isolates reaction policy. Metrics: quality-weighted
+//! camera-seconds served per server-second (benefit per server),
+//! arrival rejection rate, p99 scheduling reaction latency per event
+//! kind, and the incremental/full replan split. Acceptance: in the
+//! storm regime the event-driven discipline must beat the
+//! epoch-synchronous baseline on benefit per server, and admission must
+//! keep incumbent benefit above the floor in every run.
+//!
+//! ```text
+//! cargo run --release -p eva-bench --bin ext_churn [--quick]
+//! ```
+
+use eva_bench::Table;
+use eva_fault::FaultPlan;
+use eva_serve::ArrivalModel;
+use eva_stats::rng::seeded;
+use eva_workload::{DriftingScenario, Scenario};
+use pamo_core::{run_serving, PamoConfig, PreferenceSource, ServingConfig, ServingRun};
+
+const N_CAMS: usize = 4;
+const N_SERVERS: usize = 3;
+/// Scheduling epoch (s). Long relative to inter-arrival times in the
+/// storm regime — exactly the setting where waiting for the boundary
+/// hurts.
+const EPOCH_S: f64 = 20.0;
+/// Mean tenant hold time (s): most tenants outlive an epoch, some
+/// don't.
+const MEAN_HOLD_S: f64 = 30.0;
+
+/// Sub-50 ms reactions (the event-driven side) print in milliseconds.
+fn fmt_reaction(s: f64) -> String {
+    if s < 0.05 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n_epochs = if quick { 4 } else { 6 };
+    let mut cfg = PamoConfig {
+        preference: PreferenceSource::Oracle, // isolate reaction policy
+        ..Default::default()
+    };
+    cfg.bo.max_iters = if quick { 3 } else { 5 };
+    cfg.pool_size = if quick { 20 } else { 30 };
+    cfg.profiling_per_camera = if quick { 20 } else { 25 };
+    // Accuracy-weighted operator, as in the fault-tolerance extension:
+    // inference output is worth more than the electricity it costs.
+    let weights = [1.0, 3.0, 1.0, 1.0, 1.0];
+    let base = Scenario::uniform(N_CAMS, N_SERVERS, 20e6, 99);
+    // Mild crash regime so all four event kinds occur (MTTF 90 s,
+    // MTTR 25 s: roughly one outage per run, repaired within ~1 epoch).
+    let plan = FaultPlan::none(N_SERVERS, N_CAMS).with_server_crashes(90.0, 25.0, 42);
+
+    // (label, arrival rate Hz): calm ≈ 1 arrival per 2.5 epochs;
+    // storm ≈ 6 arrivals per epoch.
+    let regimes: [(&str, f64); 2] = [("calm", 0.02), ("storm", 0.3)];
+
+    let mut table = Table::new(vec![
+        "regime",
+        "policy",
+        "U/server",
+        "accepted",
+        "rejected",
+        "rej_rate",
+        "p99_react",
+        "p99_arrival",
+        "p99_failure",
+        "replans(inc/full)",
+    ]);
+    let mut results = Vec::new();
+    let mut pass = true;
+
+    for (regime, rate_hz) in regimes {
+        let mut runs: Vec<(bool, ServingRun)> = Vec::new();
+        for event_driven in [true, false] {
+            let serving = ServingConfig {
+                epoch_s: EPOCH_S,
+                n_epochs,
+                event_driven,
+                arrivals: ArrivalModel::Poisson { rate_hz },
+                mean_hold_s: MEAN_HOLD_S,
+                churn_seed: 7,
+                ..ServingConfig::default()
+            };
+            let mut d = DriftingScenario::new(&base, 0.05);
+            let run = run_serving(
+                &mut d,
+                &cfg,
+                weights,
+                Some(&plan),
+                &serving,
+                &mut seeded(17),
+            );
+            let policy = if event_driven {
+                "event-driven"
+            } else {
+                "epoch-sync"
+            };
+            table.row(vec![
+                regime.to_string(),
+                policy.to_string(),
+                format!("{:.3}", run.benefit_per_server()),
+                format!("{}", run.accepted),
+                format!("{}", run.rejected),
+                format!("{:.0}%", run.rejection_rate() * 100.0),
+                fmt_reaction(run.reaction_p99_s()),
+                fmt_reaction(run.reaction_p99_for("arrival")),
+                fmt_reaction(run.reaction_p99_for("failure")),
+                format!("{}/{}", run.replan_incremental, run.replan_full),
+            ]);
+            results.push(serde_json::json!({
+                "regime": regime,
+                "arrival_rate_hz": rate_hz,
+                "policy": policy,
+                "benefit_per_server": run.benefit_per_server(),
+                "accepted": run.accepted,
+                "rejected": run.rejected,
+                "rejection_rate": run.rejection_rate(),
+                "queued_peak": run.queued_peak,
+                "reaction_p99_s": run.reaction_p99_s(),
+                "reaction_p99_arrival_s": run.reaction_p99_for("arrival"),
+                "reaction_p99_departure_s": run.reaction_p99_for("departure"),
+                "reaction_p99_failure_s": run.reaction_p99_for("failure"),
+                "reaction_p99_restore_s": run.reaction_p99_for("restore"),
+                "replan_incremental": run.replan_incremental,
+                "replan_full": run.replan_full,
+                "min_floor_margin": if run.min_floor_margin.is_finite() {
+                    Some(run.min_floor_margin)
+                } else {
+                    None
+                },
+                "degraded": run.degraded,
+            }));
+            runs.push((event_driven, run));
+        }
+
+        let ed = &runs[0].1;
+        let es = &runs[1].1;
+        // The floor must hold in every run of every regime.
+        for (_, r) in &runs {
+            if r.min_floor_margin < -1e-9 {
+                println!("FLOOR VIOLATION in {regime}: margin {}", r.min_floor_margin);
+                pass = false;
+            }
+        }
+        // Under the storm, reacting at event time must pay.
+        if regime == "storm" {
+            if ed.benefit_per_server() < es.benefit_per_server() {
+                println!(
+                    "STORM REGRESSION: event-driven {:.4} < epoch-sync {:.4} U/server",
+                    ed.benefit_per_server(),
+                    es.benefit_per_server()
+                );
+                pass = false;
+            }
+            if ed.reaction_p99_s() >= es.reaction_p99_s() {
+                println!(
+                    "LATENCY REGRESSION: event-driven p99 {:.3}s >= epoch-sync p99 {:.3}s",
+                    ed.reaction_p99_s(),
+                    es.reaction_p99_s()
+                );
+                pass = false;
+            }
+        }
+    }
+
+    println!("== Extension: continuous serving — event-driven vs epoch-synchronous ==");
+    println!(
+        "cluster: {N_CAMS} resident cameras / {N_SERVERS} servers; epoch {EPOCH_S:.0} s; \
+         tenant hold ~{MEAN_HOLD_S:.0} s; crashes MTTF 90 s / MTTR 25 s"
+    );
+    println!("{table}");
+    println!("acceptance: {}", if pass { "PASS" } else { "FAIL" });
+    println!(
+        "Reading: with arrivals every few seconds and 20 s epochs, the\n\
+         epoch-synchronous baseline parks newcomers (and keeps serving\n\
+         departed tenants) until the next boundary — its p99 reaction is\n\
+         a large fraction of the epoch, and the wasted camera-seconds\n\
+         show up directly in benefit per server. The event-driven\n\
+         scheduler admits, evicts and repairs at event time; row repair\n\
+         keeps most replans incremental, falling back to a full\n\
+         Algorithm-1 re-solve only when the perturbation spills across\n\
+         groups. Admission's feasibility probe keeps every accepted\n\
+         tenant's impact on incumbents above the configured floor."
+    );
+
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(
+        "results/ext_churn.json",
+        serde_json::to_string_pretty(&serde_json::json!({
+            "pass": pass,
+            "runs": results,
+        }))
+        .unwrap(),
+    )
+    .expect("write results/ext_churn.json");
+    println!("(wrote results/ext_churn.json)");
+}

@@ -2,7 +2,7 @@
 //! workloads with telemetry on and emits per-phase wall-clock
 //! breakdowns as `BENCH_perf.json`.
 //!
-//! The suite pins the four code paths the scheduler spends its time in:
+//! The suite pins the five code paths the scheduler spends its time in:
 //!
 //! * `online_3x2_learned` — the full PaMO pipeline (profiling + GP fit,
 //!   preference elicitation, qNEI search, Algorithm-1 placement) on a
@@ -12,7 +12,10 @@
 //! * `faulted_3x2` — the failure-aware loop under heavy crashes
 //!   (detection, survivor re-planning, fallback ladder),
 //! * `des_shared_uplink` — the discrete-event simulator on a schedule
-//!   whose streams share server uplinks.
+//!   whose streams share server uplinks,
+//! * `serve_churn` — the continuous-serving loop under a Poisson
+//!   arrival storm with server crashes (admission probes, incremental
+//!   replans), tracking replan reaction latency.
 //!
 //! Each workload runs under its own [`eva_obs::FlightRecorder`]; the
 //! per-phase histograms, counters and wall-clock totals land in one
@@ -26,7 +29,8 @@
 //! `--validate` re-reads an emitted file and checks the schema: every
 //! workload has finite timings, and the union of phases covers the
 //! pipeline (`outcome_fit`, `pref_model`, `bo_search`, `grouping`,
-//! `assignment`, `des`). CI runs the quick suite and the validator on
+//! `assignment`, `des`, `admission`, `replan`). CI runs the quick suite
+//! and the validator on
 //! every PR; comparing two `BENCH_perf.json` files across commits is
 //! how a per-phase regression is caught before it lands.
 
@@ -35,24 +39,27 @@ use std::time::Instant;
 use eva_bo::{AcqKind, BoConfig};
 use eva_fault::{FaultPlan, RetryPolicy};
 use eva_obs::FlightRecorder;
+use eva_serve::ArrivalModel;
 use eva_sim::{simulate_scenario_with_deadline_recorded, PhasePolicy};
 use eva_stats::rng::seeded;
 use eva_workload::{DriftingScenario, Scenario, VideoConfig};
 use pamo_core::{
-    run_online_faulted_recorded, run_online_recorded, FaultedRunConfig, PamoConfig,
-    PreferenceSource,
+    run_online_faulted_recorded, run_online_recorded, run_serving_recorded, FaultedRunConfig,
+    PamoConfig, PreferenceSource, ServingConfig,
 };
 
 /// Schema tag of the emitted file; bump on breaking layout changes.
 const SCHEMA: &str = "eva-obs/perf-baseline/v1";
 /// Phases the suite must exercise for the baseline to be trustworthy.
-const REQUIRED_PHASES: [&str; 6] = [
+const REQUIRED_PHASES: [&str; 8] = [
     "outcome_fit",
     "pref_model",
     "bo_search",
     "grouping",
     "assignment",
     "des",
+    "admission",
+    "replan",
 ];
 
 fn pamo_config(quick: bool, preference: PreferenceSource) -> PamoConfig {
@@ -154,6 +161,41 @@ fn run_workload(name: &str, quick: bool, rec: &FlightRecorder) -> String {
                  {frames} frames"
             )
         }
+        "serve_churn" => {
+            let n_epochs = if quick { 3 } else { 5 };
+            let base = Scenario::uniform(4, 3, 20e6, 105);
+            let plan = FaultPlan::none(3, 4).with_server_crashes(90.0, 25.0, 42);
+            let mut d = DriftingScenario::new(&base, 0.05);
+            let cfg = pamo_config(quick, PreferenceSource::Oracle);
+            let serving = ServingConfig {
+                epoch_s: 20.0,
+                n_epochs,
+                event_driven: true,
+                arrivals: ArrivalModel::Poisson { rate_hz: 0.3 },
+                mean_hold_s: 30.0,
+                churn_seed: 7,
+                ..ServingConfig::default()
+            };
+            let run = run_serving_recorded(
+                &mut d,
+                &cfg,
+                [1.0, 3.0, 1.0, 1.0, 1.0],
+                Some(&plan),
+                &serving,
+                &mut seeded(14),
+                rec,
+            );
+            format!(
+                "4 cams x 3 servers, Poisson storm 0.3/s under crashes, {n_epochs} epochs, \
+                 {} accepted / {} rejected, {} incremental / {} full replans, \
+                 {:.3} U/server",
+                run.accepted,
+                run.rejected,
+                run.replan_incremental,
+                run.replan_full,
+                run.benefit_per_server()
+            )
+        }
         other => unreachable!("unknown workload {other}"),
     }
 }
@@ -194,6 +236,7 @@ fn main() {
         "online_6x3_oracle",
         "faulted_3x2",
         "des_shared_uplink",
+        "serve_churn",
     ];
     println!(
         "== perf baseline: {} suite ==",

@@ -6,7 +6,6 @@ use eva_stats::rng::{child_seed, seeded};
 use eva_workload::outcome::idx;
 use eva_workload::{Outcome, Scenario, N_OBJECTIVES};
 use pamo_core::{normalized_benefit, Pamo, PamoConfig, TruePreference};
-use serde::Serialize;
 
 /// One experiment setting (scenario shape + preference weights).
 #[derive(Debug, Clone)]
@@ -80,7 +79,7 @@ impl ExperimentSetting {
 }
 
 /// Averaged score of one method on one setting.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MethodScore {
     /// Method name ("JCAB", "FACT", "PaMO", "PaMO+").
     pub name: String,
@@ -93,6 +92,24 @@ pub struct MethodScore {
     pub contributions: [f64; N_OBJECTIVES],
     /// Mean raw outcome.
     pub outcome_mean: Vec<f64>,
+}
+
+impl From<&MethodScore> for serde_json::Value {
+    fn from(s: &MethodScore) -> Self {
+        serde_json::json!({
+            "name": s.name.clone(),
+            "benefit": s.benefit,
+            "normalized": s.normalized,
+            "contributions": s.contributions.to_vec(),
+            "outcome_mean": s.outcome_mean.clone(),
+        })
+    }
+}
+
+impl From<MethodScore> for serde_json::Value {
+    fn from(s: MethodScore) -> Self {
+        Self::from(&s)
+    }
 }
 
 /// Run JCAB, FACT, PaMO and PaMO+ on a setting; returns scores in that

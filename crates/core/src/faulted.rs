@@ -344,7 +344,7 @@ pub fn run_online_faulted_recorded<R: Rng + ?Sized>(
 /// placement on the surviving servers, and keep the best one by planned
 /// benefit. Cheap by construction — the grid is small and scheduling a
 /// uniform config is a single Algorithm-1 run.
-fn fallback_uniform(
+pub(crate) fn fallback_uniform(
     scenario: &Scenario,
     pref: &TruePreference,
     alive: Option<&[bool]>,

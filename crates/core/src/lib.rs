@@ -28,6 +28,7 @@ pub mod models;
 pub mod online;
 pub mod pamo;
 pub mod pool;
+pub mod serving;
 
 pub use benefit::{normalized_benefit, OutcomeNormalizer, TruePreference};
 pub use composite::{CompositeSampler, PreferenceEval};
@@ -40,3 +41,4 @@ pub use online::{
 };
 pub use pamo::{Pamo, PamoConfig, PamoDecision, PreferenceSource};
 pub use pool::{build_pool, decode_joint, encode_joint};
+pub use serving::{run_serving, run_serving_recorded, ServeEvent, ServingConfig, ServingRun};

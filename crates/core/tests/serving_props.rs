@@ -1,0 +1,85 @@
+//! The serving loop must be a strict superset of the online loop: with
+//! a silent arrival process and no fault plan, `run_serving` delegates
+//! to `run_online` and its epochs are bit-identical, epoch for epoch —
+//! the serving machinery costs nothing when nothing churns.
+
+use eva_bo::{AcqKind, BoConfig};
+use eva_serve::ArrivalModel;
+use eva_stats::rng::seeded;
+use eva_workload::{DriftingScenario, Scenario};
+use pamo_core::{run_online, run_serving, PamoConfig, PreferenceSource, ServingConfig};
+use proptest::prelude::*;
+
+fn tiny_config() -> PamoConfig {
+    PamoConfig {
+        bo: BoConfig {
+            n_init: 4,
+            batch: 2,
+            mc_samples: 16,
+            max_iters: 2,
+            delta: 0.02,
+            kind: AcqKind::QNei,
+        },
+        pool_size: 15,
+        profiling_per_camera: 15,
+        profile_noise: 0.02,
+        n_comparisons: 6,
+        elicit_candidates: 15,
+        preference: PreferenceSource::Oracle,
+    }
+}
+
+proptest! {
+    // Each case runs the full BO pipeline twice; keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn zero_rate_serving_is_bit_identical_to_online(
+        scenario_seed in 0u64..100,
+        rng_seed in 0u64..100,
+        drift in 0.0f64..0.15,
+        n_epochs in 2usize..=3,
+    ) {
+        let base = Scenario::uniform(3, 2, 20e6, scenario_seed);
+        let plain = {
+            let mut d = DriftingScenario::new(&base, drift);
+            run_online(&mut d, &tiny_config(), [1.0; 5], n_epochs, &mut seeded(rng_seed))
+        };
+        let serving = ServingConfig {
+            n_epochs,
+            arrivals: ArrivalModel::Poisson { rate_hz: 0.0 },
+            ..ServingConfig::default()
+        };
+        let served = {
+            let mut d = DriftingScenario::new(&base, drift);
+            run_serving(
+                &mut d,
+                &tiny_config(),
+                [1.0; 5],
+                None,
+                &serving,
+                &mut seeded(rng_seed),
+            )
+        };
+        prop_assert!(served.events.is_empty());
+        prop_assert_eq!(served.epochs.len(), plain.epochs.len());
+        prop_assert_eq!(served.degraded, plain.degraded);
+        for (s, p) in served.epochs.iter().zip(&plain.epochs) {
+            prop_assert_eq!(s.epoch, p.epoch);
+            prop_assert_eq!(
+                s.online_benefit.to_bits(),
+                p.online_benefit.to_bits(),
+                "epoch {} online benefit diverged",
+                s.epoch
+            );
+            prop_assert_eq!(&s.configs, &p.configs, "epoch {} configs diverged", s.epoch);
+            prop_assert_eq!(
+                s.divergence.to_bits(),
+                p.divergence.to_bits(),
+                "epoch {} divergence diverged",
+                s.epoch
+            );
+            prop_assert_eq!(&s.alive, &p.alive);
+        }
+    }
+}

@@ -36,11 +36,17 @@ pub enum Phase {
     Des,
     /// The degraded-mode uniform-fallback ladder scan.
     Fallback,
+    /// One admission-control feasibility probe (continuous serving).
+    Admission,
+    /// One event-driven replan (incremental row repair or full
+    /// Algorithm 1 re-solve) triggered by arrival/departure/failure/
+    /// restore.
+    Replan,
 }
 
 impl Phase {
     /// All phases, in pipeline order (the order summaries print in).
-    pub const ALL: [Phase; 10] = [
+    pub const ALL: [Phase; 12] = [
         Phase::Epoch,
         Phase::Decide,
         Phase::OutcomeFit,
@@ -51,6 +57,8 @@ impl Phase {
         Phase::Assignment,
         Phase::Des,
         Phase::Fallback,
+        Phase::Admission,
+        Phase::Replan,
     ];
 
     /// Stable machine-readable name (used in exports and schemas).
@@ -66,6 +74,8 @@ impl Phase {
             Phase::Assignment => "assignment",
             Phase::Des => "des",
             Phase::Fallback => "fallback",
+            Phase::Admission => "admission",
+            Phase::Replan => "replan",
         }
     }
 
@@ -82,6 +92,8 @@ impl Phase {
             Phase::Assignment => 7,
             Phase::Des => 8,
             Phase::Fallback => 9,
+            Phase::Admission => 10,
+            Phase::Replan => 11,
         }
     }
 }

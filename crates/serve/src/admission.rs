@@ -1,0 +1,436 @@
+//! Admission control: accept a tenant only if a feasibility probe finds
+//! a placement that keeps the incumbents' benefit above a floor.
+//!
+//! The probe is the survivor-restricted Algorithm 1 + Hungarian path
+//! ([`Scenario::evaluate_surviving_recorded`]) run once per candidate
+//! configuration of the newcomer, with every incumbent pinned to its
+//! currently deployed configuration. That makes the probe cheap — one
+//! grouping + assignment per grid point, no BO — while still answering
+//! the only question admission needs answered: *does a zero-jitter
+//! placement exist that hosts everyone, and does hosting the newcomer
+//! degrade the incumbents by more than the configured floor?*
+//!
+//! Candidates that are feasible but floor-violating are queued (to be
+//! retried when capacity frees up: a departure, a server restore, or an
+//! epoch boundary); candidates with no feasible placement at any
+//! configuration are queued on the same grounds, and either is rejected
+//! outright once the queue is full.
+
+use eva_obs::{span, Phase, Recorder};
+use eva_sched::Assignment;
+use eva_workload::{Outcome, Scenario, VideoConfig};
+
+/// Admission policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Maximum tolerated drop in the incumbents' benefit (benefit
+    /// units; benefit is ≤ 0 with 0 at utopia, so a drop of 0.05 is
+    /// 5% of one unit-weight objective's full range).
+    pub max_benefit_drop: f64,
+    /// Hard cap on concurrently served tenants (admission stops probing
+    /// once reached; 0 disables serving entirely).
+    pub max_live: usize,
+    /// Capacity of the retry queue; a blocked arrival is rejected once
+    /// the queue holds this many waiting tenants.
+    pub queue_capacity: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_benefit_drop: 0.05,
+            max_live: 64,
+            queue_capacity: 8,
+        }
+    }
+}
+
+/// The successful probe's evidence: what the newcomer gets and what it
+/// costs the incumbents.
+#[derive(Debug, Clone)]
+pub struct ProbeReport {
+    /// The configuration chosen for the newcomer.
+    pub newcomer_config: VideoConfig,
+    /// The full zero-jitter placement hosting incumbents + newcomer.
+    pub assignment: Assignment,
+    /// Incumbent benefit before admitting (caller-supplied baseline).
+    pub incumbent_before: f64,
+    /// Incumbent benefit after admitting, under the probe placement
+    /// (same benefit function, incumbents-only outcome).
+    pub incumbent_after: f64,
+    /// Benefit of the whole post-admission system (incumbents +
+    /// newcomer) — the quantity the probe maximizes across candidates.
+    pub total_benefit: f64,
+}
+
+/// The admission controller's verdict on one arrival.
+#[derive(Debug, Clone)]
+pub enum AdmissionDecision {
+    /// Admit under the reported placement.
+    Accept(Box<ProbeReport>),
+    /// Park in the retry queue.
+    Queue {
+        /// Why the tenant could not be admitted right now.
+        reason: &'static str,
+    },
+    /// Turn away (queue full or serving disabled).
+    Reject {
+        /// Why the tenant was turned away.
+        reason: &'static str,
+    },
+}
+
+/// Stateless admission policy. State (live set, queue) lives in the
+/// serving loop; the controller only answers "can this tenant join the
+/// current system?".
+#[derive(Debug, Clone, Default)]
+pub struct AdmissionController {
+    cfg: AdmissionConfig,
+}
+
+impl AdmissionController {
+    /// Build with the given policy.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        AdmissionController { cfg }
+    }
+
+    /// The policy in force.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// Probe admission of the newcomer.
+    ///
+    /// `trial` must contain the incumbents as cameras `0..m` and the
+    /// newcomer as camera `m`, where `m = incumbent_configs.len()`;
+    /// `incumbent_before` is the incumbents' current benefit under the
+    /// deployed placement, and `benefit` scores an aggregate
+    /// [`Outcome`] (higher is better). `live_tenants` / `queue_len`
+    /// are the serving loop's current counts, used for the cap and
+    /// queue-overflow checks.
+    ///
+    /// The probe scans the newcomer's whole config grid with incumbents
+    /// pinned, keeps the feasible candidate maximizing total system
+    /// benefit, and accepts iff that candidate keeps
+    /// `incumbent_after >= incumbent_before - max_benefit_drop`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn admit(
+        &self,
+        trial: &Scenario,
+        incumbent_configs: &[VideoConfig],
+        alive: Option<&[bool]>,
+        incumbent_before: f64,
+        benefit: &dyn Fn(&Outcome) -> f64,
+        live_tenants: usize,
+        queue_len: usize,
+        rec: &dyn Recorder,
+    ) -> AdmissionDecision {
+        let _probe = span(rec, Phase::Admission);
+        if rec.enabled() {
+            rec.add("serve.admission_probes", 1);
+        }
+        let m = incumbent_configs.len();
+        assert_eq!(
+            trial.n_videos(),
+            m + 1,
+            "trial scenario must hold incumbents plus exactly one newcomer"
+        );
+        if self.cfg.max_live == 0 {
+            return AdmissionDecision::Reject {
+                reason: "serving disabled (max_live = 0)",
+            };
+        }
+        if live_tenants >= self.cfg.max_live {
+            return self.queue_or_reject(queue_len, "tenant cap reached");
+        }
+
+        let mut configs = incumbent_configs.to_vec();
+        configs.push(trial.config_space().at(0)); // placeholder, overwritten below
+        let mut best: Option<ProbeReport> = None;
+        for cand in trial.config_space().iter() {
+            configs[m] = cand;
+            let Ok(out) = trial.evaluate_surviving_recorded(&configs, alive, rec) else {
+                continue; // no zero-jitter placement at this config
+            };
+            let total = benefit(&out.outcome);
+            if !total.is_finite() {
+                continue;
+            }
+            if best.as_ref().is_none_or(|b| total > b.total_benefit) {
+                let incumbent_after = if m == 0 {
+                    incumbent_before
+                } else {
+                    benefit(&subset_outcome(trial, &configs, &out.assignment, m))
+                };
+                best = Some(ProbeReport {
+                    newcomer_config: cand,
+                    assignment: out.assignment,
+                    incumbent_before,
+                    incumbent_after,
+                    total_benefit: total,
+                });
+            }
+        }
+
+        match best {
+            None => self.queue_or_reject(queue_len, "no feasible placement"),
+            Some(report) => {
+                if report.incumbent_after >= incumbent_before - self.cfg.max_benefit_drop {
+                    AdmissionDecision::Accept(Box::new(report))
+                } else {
+                    self.queue_or_reject(queue_len, "incumbent benefit floor")
+                }
+            }
+        }
+    }
+
+    fn queue_or_reject(&self, queue_len: usize, reason: &'static str) -> AdmissionDecision {
+        if queue_len < self.cfg.queue_capacity {
+            AdmissionDecision::Queue { reason }
+        } else {
+            AdmissionDecision::Reject { reason }
+        }
+    }
+}
+
+/// The aggregate outcome restricted to cameras `0..cameras`: accuracy
+/// averaged and resources summed over the subset, latency averaged over
+/// the subset's post-split streams at the (true) uplinks `assignment`
+/// placed them on. This is the incumbents-only view of a joint
+/// placement — the quantity the admission floor is checked against.
+pub fn subset_outcome(
+    scenario: &Scenario,
+    configs: &[VideoConfig],
+    assignment: &Assignment,
+    cameras: usize,
+) -> Outcome {
+    assert!(cameras >= 1, "subset_outcome: empty camera subset");
+    assert!(cameras <= configs.len());
+    let mut acc_sum = 0.0;
+    let mut net = 0.0;
+    let mut com = 0.0;
+    let mut eng = 0.0;
+    for (i, c) in configs.iter().take(cameras).enumerate() {
+        let s = scenario.surfaces(i);
+        acc_sum += s.accuracy(c);
+        net += s.bandwidth_bps(c);
+        com += s.compute_tflops(c);
+        eng += s.power_w(c);
+    }
+    let mut lat_sum = 0.0;
+    let mut n_streams = 0usize;
+    for (idx, st) in assignment.streams.iter().enumerate() {
+        let src = st.id.source;
+        if src < cameras {
+            let uplink = scenario.uplinks()[assignment.server_of[idx]];
+            lat_sum += scenario
+                .surfaces(src)
+                .e2e_latency_secs(&configs[src], uplink);
+            n_streams += 1;
+        }
+    }
+    Outcome {
+        latency_s: lat_sum / n_streams.max(1) as f64,
+        accuracy: acc_sum / cameras as f64,
+        network_bps: net,
+        compute_tflops: com,
+        power_w: eng,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_obs::NoopRecorder;
+    use eva_workload::outcome::idx;
+
+    /// A simple benefit: accuracy minus scaled latency and bandwidth —
+    /// higher is better, monotone the right way in each objective.
+    fn bench_benefit(o: &Outcome) -> f64 {
+        o.accuracy - 0.5 * o.latency_s - o.network_bps / 100e6
+    }
+
+    fn trial(n_incumbents: usize, n_servers: usize) -> (Scenario, Vec<VideoConfig>) {
+        let sc = Scenario::uniform(n_incumbents + 1, n_servers, 20e6, 17);
+        let incumbents = vec![VideoConfig::new(720.0, 5.0); n_incumbents];
+        (sc, incumbents)
+    }
+
+    fn incumbent_baseline(sc: &Scenario, incumbents: &[VideoConfig]) -> f64 {
+        // Deploy incumbents alone (newcomer's surface unused): evaluate
+        // an incumbents-only scenario built from the same clips.
+        let sub = Scenario::new(
+            (0..incumbents.len()).map(|i| sc.clip(i).clone()).collect(),
+            sc.uplinks().to_vec(),
+            sc.config_space().clone(),
+        );
+        let out = sub.evaluate(incumbents).expect("baseline feasible");
+        bench_benefit(&out.outcome)
+    }
+
+    #[test]
+    fn accepts_when_capacity_is_ample() {
+        let (sc, incumbents) = trial(2, 3);
+        let before = incumbent_baseline(&sc, &incumbents);
+        let ctl = AdmissionController::new(AdmissionConfig::default());
+        let d = ctl.admit(
+            &sc,
+            &incumbents,
+            None,
+            before,
+            &bench_benefit,
+            2,
+            0,
+            &NoopRecorder,
+        );
+        let AdmissionDecision::Accept(report) = d else {
+            panic!("expected accept, got {d:?}");
+        };
+        // The probe placement covers all three cameras.
+        let sources: std::collections::HashSet<usize> = report
+            .assignment
+            .streams
+            .iter()
+            .map(|s| s.id.source)
+            .collect();
+        assert_eq!(sources.len(), 3);
+        assert!(report.incumbent_after.is_finite());
+    }
+
+    #[test]
+    fn respects_tenant_cap_and_queue_capacity() {
+        let (sc, incumbents) = trial(2, 3);
+        let ctl = AdmissionController::new(AdmissionConfig {
+            max_live: 2,
+            queue_capacity: 1,
+            ..AdmissionConfig::default()
+        });
+        let d = ctl.admit(
+            &sc,
+            &incumbents,
+            None,
+            0.0,
+            &bench_benefit,
+            2,
+            0,
+            &NoopRecorder,
+        );
+        assert!(matches!(d, AdmissionDecision::Queue { .. }), "{d:?}");
+        // Queue full -> reject.
+        let d = ctl.admit(
+            &sc,
+            &incumbents,
+            None,
+            0.0,
+            &bench_benefit,
+            2,
+            1,
+            &NoopRecorder,
+        );
+        assert!(matches!(d, AdmissionDecision::Reject { .. }), "{d:?}");
+    }
+
+    #[test]
+    fn infeasible_system_is_not_accepted() {
+        // One server already saturated by heavy incumbents: nothing fits.
+        let sc = Scenario::uniform(4, 1, 20e6, 3);
+        let incumbents = vec![VideoConfig::new(2160.0, 30.0); 3];
+        let ctl = AdmissionController::new(AdmissionConfig::default());
+        let d = ctl.admit(
+            &sc,
+            &incumbents,
+            None,
+            0.0,
+            &bench_benefit,
+            3,
+            0,
+            &NoopRecorder,
+        );
+        assert!(
+            !matches!(d, AdmissionDecision::Accept(_)),
+            "must not accept an infeasible system: {d:?}"
+        );
+    }
+
+    #[test]
+    fn strict_floor_queues_admissible_but_costly_tenants() {
+        let (sc, incumbents) = trial(2, 2);
+        let before = incumbent_baseline(&sc, &incumbents);
+        // A zero-tolerance floor with a benefit that punishes any added
+        // network load: admitting anything measurably hurts.
+        let harsh = |o: &Outcome| -o.to_vec()[idx::NETWORK];
+        let before_harsh = -incumbents
+            .iter()
+            .enumerate()
+            .map(|(i, c)| sc.surfaces(i).bandwidth_bps(c))
+            .sum::<f64>();
+        let _ = before; // baseline under bench_benefit unused here
+        let ctl = AdmissionController::new(AdmissionConfig {
+            max_benefit_drop: 0.0,
+            ..AdmissionConfig::default()
+        });
+        let d = ctl.admit(
+            &sc,
+            &incumbents,
+            None,
+            before_harsh,
+            &harsh,
+            2,
+            0,
+            &NoopRecorder,
+        );
+        // Incumbent outcome itself is unchanged by the newcomer in the
+        // network dimension (sums over the subset), so this *accepts*:
+        // the floor protects incumbents, not total benefit.
+        assert!(matches!(d, AdmissionDecision::Accept(_)), "{d:?}");
+    }
+
+    #[test]
+    fn dead_servers_are_respected() {
+        let (sc, incumbents) = trial(2, 3);
+        let before = incumbent_baseline(&sc, &incumbents);
+        let alive = vec![true, false, true];
+        let ctl = AdmissionController::new(AdmissionConfig::default());
+        let d = ctl.admit(
+            &sc,
+            &incumbents,
+            Some(&alive),
+            before,
+            &bench_benefit,
+            2,
+            0,
+            &NoopRecorder,
+        );
+        if let AdmissionDecision::Accept(report) = d {
+            assert!(report.assignment.server_of.iter().all(|&s| s != 1));
+        }
+    }
+
+    #[test]
+    fn subset_outcome_matches_full_outcome_when_subset_is_everything() {
+        let (sc, _) = trial(2, 3);
+        let cfgs = vec![VideoConfig::new(720.0, 5.0); 3];
+        let full = sc.evaluate(&cfgs).unwrap();
+        let sub = subset_outcome(&sc, &cfgs, &full.assignment, 3);
+        assert!((sub.latency_s - full.outcome.latency_s).abs() < 1e-12);
+        assert!((sub.accuracy - full.outcome.accuracy).abs() < 1e-12);
+        assert!((sub.network_bps - full.outcome.network_bps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subset_outcome_sums_only_the_subset() {
+        let (sc, _) = trial(2, 3);
+        let cfgs = vec![
+            VideoConfig::new(720.0, 5.0),
+            VideoConfig::new(720.0, 5.0),
+            VideoConfig::new(2160.0, 15.0), // heavy newcomer
+        ];
+        if let Ok(full) = sc.evaluate(&cfgs) {
+            let sub = subset_outcome(&sc, &cfgs, &full.assignment, 2);
+            // The newcomer's bandwidth must not leak into the subset.
+            let manual: f64 = (0..2).map(|i| sc.surfaces(i).bandwidth_bps(&cfgs[i])).sum();
+            assert!((sub.network_bps - manual).abs() < 1e-9);
+            assert!(sub.network_bps < full.outcome.network_bps);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Continuous-arrival multi-tenant serving for the PaMO scheduler.
+//!
+//! Every other crate in this workspace replays a *fixed* scenario
+//! epoch-by-epoch. Real edge deployments are not fixed: tenants
+//! (cameras) arrive and depart mid-run, and the scheduler has to react
+//! in milliseconds rather than at the next epoch boundary. This crate
+//! supplies the three serving-layer substrates:
+//!
+//! * [`arrival`] — seeded Poisson / MMPP arrival–departure processes
+//!   that generate a deterministic churn trace over a horizon,
+//! * [`admission`] — an admission controller whose fast feasibility
+//!   probe re-runs the survivor-restricted Algorithm 1 + Hungarian path
+//!   for a candidate tenant and accepts only placements that keep the
+//!   *incumbent* tenants' benefit above a configured floor,
+//! * [`reschedule`] — an event-driven rescheduler that treats
+//!   arrival / departure / server failure / server restore uniformly as
+//!   replan triggers and repairs only the perturbed assignment rows
+//!   (one row = one zero-jitter group), falling back to a full
+//!   Algorithm-1 re-solve when row repair cannot restore feasibility.
+//!
+//! The serving *loop* that drives these against live PaMO decisions
+//! (`run_serving`) lives in `pamo-core`, which composes this crate with
+//! the BO pipeline; this crate stays below `pamo-core` in the layering
+//! and is usable with any benefit function.
+
+pub mod admission;
+pub mod arrival;
+pub mod reschedule;
+
+pub use admission::{
+    subset_outcome, AdmissionConfig, AdmissionController, AdmissionDecision, ProbeReport,
+};
+pub use arrival::{ArrivalModel, ChurnAction, ChurnConfig, ChurnEvent, ChurnTrace};
+pub use reschedule::{ReplanScope, ReplanStats, ReplanTrigger, Rescheduler};

@@ -1,0 +1,649 @@
+//! Event-driven rescheduling with incremental row repair.
+//!
+//! Arrival, departure, server failure and server restore are treated
+//! uniformly as *replan triggers*. The [`Rescheduler`] keeps the live
+//! placement as materialized zero-jitter groups (one group per server —
+//! the Hungarian matching assigns distinct servers, so a "row" of the
+//! assignment is exactly one group) and repairs only the rows an event
+//! perturbs:
+//!
+//! * **departure** — drop the tenant's streams from their groups; the
+//!   Theorem-3 budget only loosens, so the repaired rows stay feasible,
+//! * **arrival** — pack the newcomer's (split) streams into existing
+//!   groups under the Theorem-3 admission check, or open a new group on
+//!   a free surviving server,
+//! * **failure** — rehome the dead server's group onto a free survivor,
+//!   or distribute its members into the surviving groups,
+//! * **restore** — nothing to move (the placement is still feasible);
+//!   the freed capacity is simply available to the next repair.
+//!
+//! Every repair is verified against the full zero-jitter feasibility
+//! predicate before being adopted; when repair fails (or drifts from
+//! the scenario's stream set), the rescheduler falls back to a full
+//! survivor-restricted Algorithm 1 + Hungarian re-solve. Incremental
+//! repairs skip the Hungarian step, so they trade a little
+//! communication-latency optimality for reaction time — the epoch
+//! boundary's full re-optimization wins it back.
+
+use eva_obs::{span, Phase, Recorder};
+use eva_sched::{
+    const2_zero_jitter_ok, split_high_rate, Assignment, GroupingError, StreamId, StreamTiming,
+    Ticks,
+};
+use eva_workload::{Scenario, VideoConfig};
+
+/// What perturbed the placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplanTrigger {
+    /// Camera `camera` (index in the *post-arrival* scenario) joined.
+    Arrival {
+        /// Index of the newcomer in the current scenario.
+        camera: usize,
+    },
+    /// Camera `camera` (index in the *pre-departure* scenario) left;
+    /// later cameras shift down by one.
+    Departure {
+        /// Index of the leaver in the previous scenario.
+        camera: usize,
+    },
+    /// Server `server` went down.
+    ServerFailure {
+        /// Index of the failed server.
+        server: usize,
+    },
+    /// Server `server` came back.
+    ServerRestore {
+        /// Index of the restored server.
+        server: usize,
+    },
+}
+
+impl ReplanTrigger {
+    /// Stable event-kind name (used in telemetry and reports).
+    pub fn kind(self) -> &'static str {
+        match self {
+            ReplanTrigger::Arrival { .. } => "arrival",
+            ReplanTrigger::Departure { .. } => "departure",
+            ReplanTrigger::ServerFailure { .. } => "failure",
+            ReplanTrigger::ServerRestore { .. } => "restore",
+        }
+    }
+}
+
+/// How much of the assignment a replan had to re-solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplanScope {
+    /// Row repair succeeded; only `rows_resolved` groups were touched.
+    Incremental {
+        /// Number of assignment rows (groups) modified or created.
+        rows_resolved: usize,
+    },
+    /// Full Algorithm 1 + Hungarian re-solve.
+    Full,
+}
+
+/// Running totals of replan scopes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplanStats {
+    /// Replans resolved by row repair.
+    pub incremental: u64,
+    /// Replans that needed a full re-solve.
+    pub full: u64,
+}
+
+/// The live placement plus the repair machinery.
+#[derive(Debug, Clone, Default)]
+pub struct Rescheduler {
+    /// Materialized groups (post-split stream timings).
+    groups: Vec<Vec<StreamTiming>>,
+    /// Server hosting each group (parallel to `groups`; distinct).
+    group_server: Vec<usize>,
+    stats: ReplanStats,
+}
+
+impl Rescheduler {
+    /// Start with no placement installed.
+    pub fn new() -> Self {
+        Rescheduler::default()
+    }
+
+    /// Adopt a full placement (e.g. the epoch boundary's optimized one).
+    pub fn install(&mut self, a: &Assignment) {
+        self.groups = a
+            .groups
+            .iter()
+            .map(|g| g.iter().map(|&i| a.streams[i]).collect())
+            .collect();
+        self.group_server = a.group_server.clone();
+    }
+
+    /// Replan totals since construction.
+    pub fn stats(&self) -> ReplanStats {
+        self.stats
+    }
+
+    /// React to one event. `scenario` / `configs` describe the world
+    /// *after* the event (the departed camera removed, the arrived one
+    /// appended); `alive` is the post-event server liveness. Attempts a
+    /// row repair, verifies it against the zero-jitter predicate and
+    /// the scenario's stream set, and falls back to a full
+    /// survivor-restricted re-solve when repair fails. On `Err` the
+    /// internal placement is left unchanged (and stale) — callers
+    /// degrade exactly as they would on an epoch-boundary failure.
+    pub fn replan(
+        &mut self,
+        scenario: &Scenario,
+        configs: &[VideoConfig],
+        alive: Option<&[bool]>,
+        trigger: ReplanTrigger,
+        rec: &dyn Recorder,
+    ) -> Result<(Assignment, ReplanScope), GroupingError> {
+        let _replan = span(rec, Phase::Replan);
+        if rec.enabled() {
+            rec.add("serve.replans", 1);
+            match trigger {
+                ReplanTrigger::Arrival { .. } => rec.add("serve.replan_arrivals", 1),
+                ReplanTrigger::Departure { .. } => rec.add("serve.replan_departures", 1),
+                ReplanTrigger::ServerFailure { .. } => rec.add("serve.replan_failures", 1),
+                ReplanTrigger::ServerRestore { .. } => rec.add("serve.replan_restores", 1),
+            }
+        }
+        let saved = (self.groups.clone(), self.group_server.clone());
+        let repaired = match trigger {
+            ReplanTrigger::Arrival { camera } => self.repair_arrival(scenario, configs, camera),
+            ReplanTrigger::Departure { camera } => Some(self.repair_departure(camera)),
+            ReplanTrigger::ServerFailure { server } => self.repair_failure(scenario, server, alive),
+            ReplanTrigger::ServerRestore { .. } => Some(0),
+        };
+        if let Some(rows) = repaired {
+            if self.verify(scenario, configs, alive) {
+                self.stats.incremental += 1;
+                if rec.enabled() {
+                    rec.add("serve.replan_incremental", 1);
+                    rec.observe("serve.replan_rows", rows as f64);
+                }
+                return Ok((
+                    self.assignment(scenario, configs),
+                    ReplanScope::Incremental {
+                        rows_resolved: rows,
+                    },
+                ));
+            }
+        }
+        // Row repair failed or verification rejected it: restore the
+        // pre-repair state and re-solve from scratch.
+        (self.groups, self.group_server) = saved;
+        match scenario.schedule_surviving_recorded(configs, alive, rec) {
+            Ok(a) => {
+                self.install(&a);
+                self.stats.full += 1;
+                if rec.enabled() {
+                    rec.add("serve.replan_full", 1);
+                }
+                Ok((a, ReplanScope::Full))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The newcomer's split streams, packed greedily.
+    fn repair_arrival(
+        &mut self,
+        scenario: &Scenario,
+        configs: &[VideoConfig],
+        camera: usize,
+    ) -> Option<usize> {
+        if camera >= configs.len() {
+            return None;
+        }
+        // The newcomer must not already be placed.
+        if self.groups.iter().flatten().any(|s| s.id.source == camera) {
+            return None;
+        }
+        let c = &configs[camera];
+        let timing = StreamTiming::from_rate(
+            StreamId::source(camera),
+            c.fps,
+            scenario.surfaces(camera).proc_time_secs(c.resolution),
+        );
+        let parts = split_high_rate(std::slice::from_ref(&timing));
+        let uplinks = scenario.planning_uplinks();
+        let mut touched: Vec<usize> = Vec::new();
+        for part in parts {
+            // Candidate existing groups that accept the part, best
+            // (fastest planning uplink) first.
+            let mut host: Option<usize> = None;
+            for (g, members) in self.groups.iter().enumerate() {
+                let mut trial: Vec<StreamTiming> = members.clone();
+                trial.push(part);
+                if theorem3_ok(&trial)
+                    && host.is_none_or(|h| {
+                        uplinks[self.group_server[g]] > uplinks[self.group_server[h]]
+                    })
+                {
+                    host = Some(g);
+                }
+            }
+            if let Some(g) = host {
+                self.groups[g].push(part);
+                touched.push(g);
+                continue;
+            }
+            // No group accepts: open a new one on the fastest free
+            // surviving server.
+            let Some(server) = self.best_free_server(scenario, None) else {
+                return None; // rolled back by the caller
+            };
+            self.groups.push(vec![part]);
+            self.group_server.push(server);
+            touched.push(self.groups.len() - 1);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        Some(touched.len())
+    }
+
+    /// Remove a departed camera's streams and renumber later sources.
+    fn repair_departure(&mut self, camera: usize) -> usize {
+        let mut touched = 0usize;
+        for g in &mut self.groups {
+            let before = g.len();
+            g.retain(|s| s.id.source != camera);
+            if g.len() != before {
+                touched += 1;
+            }
+            for s in g.iter_mut() {
+                if s.id.source > camera {
+                    s.id.source -= 1;
+                }
+            }
+        }
+        // Drop emptied groups (and their server slots).
+        let mut gi = 0;
+        while gi < self.groups.len() {
+            if self.groups[gi].is_empty() {
+                self.groups.remove(gi);
+                self.group_server.remove(gi);
+            } else {
+                gi += 1;
+            }
+        }
+        touched
+    }
+
+    /// Rehome or dissolve the failed server's group.
+    fn repair_failure(
+        &mut self,
+        scenario: &Scenario,
+        server: usize,
+        alive: Option<&[bool]>,
+    ) -> Option<usize> {
+        let orphans: Vec<usize> = (0..self.groups.len())
+            .filter(|&g| self.group_server[g] == server)
+            .collect();
+        if orphans.is_empty() {
+            return Some(0);
+        }
+        let mut touched = 0usize;
+        // Hungarian gives one group per server, but handle any count.
+        for &g in orphans.iter().rev() {
+            if let Some(free) = self.best_free_server_excluding(scenario, alive, server) {
+                self.group_server[g] = free;
+                touched += 1;
+                continue;
+            }
+            // No free survivor: distribute the members into other groups.
+            let members = self.groups[g].clone();
+            let mut placed: Vec<(usize, StreamTiming)> = Vec::new();
+            let mut ok = true;
+            for &m in &members {
+                let mut host: Option<usize> = None;
+                for (h, hg) in self.groups.iter().enumerate() {
+                    if h == g || self.group_server[h] == server {
+                        continue;
+                    }
+                    if !is_alive(alive, self.group_server[h]) {
+                        continue;
+                    }
+                    let mut trial: Vec<StreamTiming> = hg.clone();
+                    trial.extend(placed.iter().filter(|&&(ph, _)| ph == h).map(|&(_, s)| s));
+                    trial.push(m);
+                    if theorem3_ok(&trial) {
+                        host = Some(h);
+                        break;
+                    }
+                }
+                match host {
+                    Some(h) => placed.push((h, m)),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                return None; // rolled back by the caller
+            }
+            for (h, s) in placed {
+                self.groups[h].push(s);
+                touched += 1;
+            }
+            self.groups.remove(g);
+            self.group_server.remove(g);
+            touched += 1;
+        }
+        Some(touched)
+    }
+
+    /// Fastest (planning-uplink) surviving server hosting no group.
+    fn best_free_server(&self, scenario: &Scenario, alive: Option<&[bool]>) -> Option<usize> {
+        self.best_free_server_excluding(scenario, alive, usize::MAX)
+    }
+
+    fn best_free_server_excluding(
+        &self,
+        scenario: &Scenario,
+        alive: Option<&[bool]>,
+        exclude: usize,
+    ) -> Option<usize> {
+        let uplinks = scenario.planning_uplinks();
+        (0..scenario.n_servers())
+            .filter(|&j| j != exclude && is_alive(alive, j))
+            .filter(|&j| !self.group_server.contains(&j))
+            .max_by(|&a, &b| uplinks[a].total_cmp(&uplinks[b]))
+    }
+
+    /// Full zero-jitter validity of the current placement against the
+    /// scenario's (post-split) stream set.
+    fn verify(&self, scenario: &Scenario, configs: &[VideoConfig], alive: Option<&[bool]>) -> bool {
+        // Servers: distinct and alive.
+        let mut servers = self.group_server.clone();
+        servers.sort_unstable();
+        let n = servers.len();
+        servers.dedup();
+        if servers.len() != n {
+            return false;
+        }
+        if !self
+            .group_server
+            .iter()
+            .all(|&j| j < scenario.n_servers() && is_alive(alive, j))
+        {
+            return false;
+        }
+        // Every group zero-jitter feasible (Const2, not just Theorem 3 —
+        // repairs only ever add under Theorem 3, but installed plans may
+        // use the weaker predicate's full slack).
+        if !self.groups.iter().all(|g| const2_zero_jitter_ok(g)) {
+            return false;
+        }
+        // The placed stream multiset matches the scenario's exactly.
+        let mut placed: Vec<(StreamId, Ticks, Ticks)> = self
+            .groups
+            .iter()
+            .flatten()
+            .map(|s| (s.id, s.period, s.proc))
+            .collect();
+        let mut expected: Vec<(StreamId, Ticks, Ticks)> =
+            split_high_rate(&scenario.stream_timings(configs))
+                .iter()
+                .map(|s| (s.id, s.period, s.proc))
+                .collect();
+        placed.sort_unstable();
+        expected.sort_unstable();
+        placed == expected
+    }
+
+    /// Materialize the current placement as an [`Assignment`]
+    /// (group-major stream order; communication latency priced on the
+    /// planning uplinks, like the Hungarian objective).
+    fn assignment(&self, scenario: &Scenario, configs: &[VideoConfig]) -> Assignment {
+        let uplinks = scenario.planning_uplinks();
+        let mut streams = Vec::new();
+        let mut server_of = Vec::new();
+        let mut groups = Vec::new();
+        let mut total_comm_latency = 0.0;
+        for (g, members) in self.groups.iter().enumerate() {
+            let server = self.group_server[g];
+            let mut idxs = Vec::with_capacity(members.len());
+            for &s in members {
+                idxs.push(streams.len());
+                streams.push(s);
+                server_of.push(server);
+                total_comm_latency += scenario
+                    .surfaces(s.id.source)
+                    .bits_per_frame(configs[s.id.source].resolution)
+                    / uplinks[server];
+            }
+            groups.push(idxs);
+        }
+        Assignment {
+            streams,
+            server_of,
+            groups,
+            group_server: self.group_server.clone(),
+            total_comm_latency,
+        }
+    }
+}
+
+fn is_alive(alive: Option<&[bool]>, server: usize) -> bool {
+    alive.is_none_or(|a| a.get(server).copied().unwrap_or(false))
+}
+
+/// Theorem-3 admission on a materialized group (harmonic periods and
+/// `Σp ≤ T_min`) — the same union check Algorithm 1's packing uses.
+fn theorem3_ok(group: &[StreamTiming]) -> bool {
+    let Some(t_min) = group.iter().map(|s| s.period).min() else {
+        return true;
+    };
+    let harmonic = group.iter().all(|s| s.period % t_min == 0);
+    let total: Ticks = group.iter().map(|s| s.proc).sum();
+    harmonic && total <= t_min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_obs::NoopRecorder;
+
+    fn scenario(n_videos: usize, n_servers: usize) -> Scenario {
+        Scenario::uniform(n_videos, n_servers, 20e6, 23)
+    }
+
+    fn low(n: usize) -> Vec<VideoConfig> {
+        vec![VideoConfig::new(480.0, 5.0); n]
+    }
+
+    fn installed(sc: &Scenario, configs: &[VideoConfig]) -> Rescheduler {
+        let a = sc.schedule(configs).expect("base placement feasible");
+        let mut r = Rescheduler::new();
+        r.install(&a);
+        r
+    }
+
+    #[test]
+    fn departure_is_repaired_incrementally() {
+        let sc5 = scenario(5, 3);
+        let cfgs5 = low(5);
+        let mut r = installed(&sc5, &cfgs5);
+        // Camera 2 departs: post-event world has cameras 0,1,3,4 of the
+        // old world renumbered to 0..4.
+        let sc4 = Scenario::new(
+            [0usize, 1, 3, 4]
+                .iter()
+                .map(|&i| sc5.clip(i).clone())
+                .collect(),
+            sc5.uplinks().to_vec(),
+            sc5.config_space().clone(),
+        );
+        let (a, scope) = r
+            .replan(
+                &sc4,
+                &low(4),
+                None,
+                ReplanTrigger::Departure { camera: 2 },
+                &NoopRecorder,
+            )
+            .expect("departure repair");
+        assert!(
+            matches!(scope, ReplanScope::Incremental { .. }),
+            "{scope:?}"
+        );
+        let sources: std::collections::HashSet<usize> =
+            a.streams.iter().map(|s| s.id.source).collect();
+        assert_eq!(sources, (0..4).collect());
+        assert_eq!(r.stats().incremental, 1);
+    }
+
+    #[test]
+    fn arrival_is_repaired_incrementally_with_capacity() {
+        let sc3 = scenario(3, 4);
+        let mut r = installed(&sc3, &low(3));
+        // A fourth camera arrives (same clip family, appended).
+        let mut clips: Vec<_> = (0..3).map(|i| sc3.clip(i).clone()).collect();
+        clips.push(sc3.clip(0).clone());
+        let sc4 = Scenario::new(clips, sc3.uplinks().to_vec(), sc3.config_space().clone());
+        let (a, scope) = r
+            .replan(
+                &sc4,
+                &low(4),
+                None,
+                ReplanTrigger::Arrival { camera: 3 },
+                &NoopRecorder,
+            )
+            .expect("arrival repair");
+        assert!(
+            matches!(scope, ReplanScope::Incremental { .. }),
+            "{scope:?}"
+        );
+        assert!(a.streams.iter().any(|s| s.id.source == 3));
+        // Every server set stays zero-jitter feasible.
+        for server in 0..sc4.n_servers() {
+            let members: Vec<StreamTiming> = a
+                .streams_on(server)
+                .into_iter()
+                .map(|i| a.streams[i])
+                .collect();
+            assert!(const2_zero_jitter_ok(&members));
+        }
+    }
+
+    #[test]
+    fn failure_rehomes_the_orphan_group() {
+        let sc = scenario(3, 4);
+        let cfgs = low(3);
+        let mut r = installed(&sc, &cfgs);
+        let a0 = sc.schedule(&cfgs).unwrap();
+        let dead = a0.group_server[0];
+        let mut alive = vec![true; 4];
+        alive[dead] = false;
+        let (a, _scope) = r
+            .replan(
+                &sc,
+                &cfgs,
+                Some(&alive),
+                ReplanTrigger::ServerFailure { server: dead },
+                &NoopRecorder,
+            )
+            .expect("failure repair");
+        assert!(a.server_of.iter().all(|&s| s != dead));
+    }
+
+    #[test]
+    fn restore_is_a_zero_row_replan() {
+        let sc = scenario(3, 3);
+        let cfgs = low(3);
+        let mut r = installed(&sc, &cfgs);
+        let (_, scope) = r
+            .replan(
+                &sc,
+                &cfgs,
+                None,
+                ReplanTrigger::ServerRestore { server: 1 },
+                &NoopRecorder,
+            )
+            .expect("restore");
+        assert_eq!(scope, ReplanScope::Incremental { rows_resolved: 0 });
+    }
+
+    #[test]
+    fn desynced_state_falls_back_to_full_resolve() {
+        let sc = scenario(4, 3);
+        let cfgs = low(4);
+        // Never installed: internal state is empty, so any trigger's
+        // verification fails and the full path runs.
+        let mut r = Rescheduler::new();
+        let (a, scope) = r
+            .replan(
+                &sc,
+                &cfgs,
+                None,
+                ReplanTrigger::ServerRestore { server: 0 },
+                &NoopRecorder,
+            )
+            .expect("full re-solve");
+        assert_eq!(scope, ReplanScope::Full);
+        assert_eq!(r.stats().full, 1);
+        let sources: std::collections::HashSet<usize> =
+            a.streams.iter().map(|s| s.id.source).collect();
+        assert_eq!(sources.len(), 4);
+    }
+
+    #[test]
+    fn infeasible_replan_reports_error_and_keeps_state() {
+        // 4 heavy cameras on 1 server: nothing fits.
+        let sc = Scenario::uniform(4, 1, 20e6, 9);
+        let heavy = vec![VideoConfig::new(2160.0, 30.0); 4];
+        let mut r = Rescheduler::new();
+        let err = r.replan(
+            &sc,
+            &heavy,
+            None,
+            ReplanTrigger::ServerRestore { server: 0 },
+            &NoopRecorder,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn incremental_assignment_matches_installed_placement() {
+        let sc = scenario(4, 3);
+        let cfgs = low(4);
+        let a0 = sc.schedule(&cfgs).unwrap();
+        let mut r = Rescheduler::new();
+        r.install(&a0);
+        // Restore (no-op) returns the same server sets.
+        let (a1, _) = r
+            .replan(
+                &sc,
+                &cfgs,
+                None,
+                ReplanTrigger::ServerRestore { server: 0 },
+                &NoopRecorder,
+            )
+            .unwrap();
+        for server in 0..sc.n_servers() {
+            let set0: std::collections::BTreeSet<StreamId> = a0
+                .streams_on(server)
+                .into_iter()
+                .map(|i| a0.streams[i].id)
+                .collect();
+            let set1: std::collections::BTreeSet<StreamId> = a1
+                .streams_on(server)
+                .into_iter()
+                .map(|i| a1.streams[i].id)
+                .collect();
+            assert_eq!(set0, set1, "server {server}");
+        }
+        assert!((a1.total_comm_latency - a0.total_comm_latency).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trigger_kinds_are_stable() {
+        assert_eq!(ReplanTrigger::Arrival { camera: 0 }.kind(), "arrival");
+        assert_eq!(ReplanTrigger::Departure { camera: 0 }.kind(), "departure");
+        assert_eq!(ReplanTrigger::ServerFailure { server: 0 }.kind(), "failure");
+        assert_eq!(ReplanTrigger::ServerRestore { server: 0 }.kind(), "restore");
+    }
+}

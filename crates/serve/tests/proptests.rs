@@ -1,0 +1,158 @@
+//! Property tests for the serving substrates: admission never lets an
+//! infeasible placement through, and departures only ever free
+//! capacity.
+
+use eva_obs::NoopRecorder;
+use eva_sched::const2_zero_jitter_ok;
+use eva_serve::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, ReplanScope, ReplanTrigger,
+    Rescheduler,
+};
+use eva_workload::{ClipProfile, Outcome, Scenario, VideoConfig};
+use proptest::prelude::*;
+
+/// A benefit function that prefers accurate, fast outcomes — any
+/// monotone scorer works for these properties.
+fn toy_benefit(o: &Outcome) -> f64 {
+    o.accuracy - o.latency_s - 1e-9 * o.network_bps - 0.01 * o.power_w
+}
+
+/// Incumbent configurations drawn from the low-load end of the grid so
+/// the starting system is schedulable most of the time.
+fn configs_strategy(n: usize, grid: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..grid.min(12), n..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// If admission accepts, the probe placement it reports is a
+    /// genuine zero-jitter placement: every group satisfies Const2,
+    /// groups sit on distinct live servers, and every post-split
+    /// stream of every camera (incumbents + newcomer) is placed.
+    #[test]
+    fn accept_implies_zero_jitter_feasible_placement(
+        n_inc in 1usize..=3,
+        n_servers in 1usize..=3,
+        seed in 0u64..500,
+        cfg_idx in configs_strategy(3, 72),
+        alive_bits in 0usize..8,
+    ) {
+        // `trial` holds incumbents as cameras 0..n_inc and the newcomer
+        // as camera n_inc.
+        let trial = Scenario::uniform(n_inc + 1, n_servers, 20e6, seed);
+        let mut alive: Vec<bool> = (0..n_servers).map(|s| alive_bits >> s & 1 == 1).collect();
+        if alive.iter().all(|&b| !b) {
+            alive[0] = true; // at least one survivor
+        }
+        let incumbent_configs: Vec<VideoConfig> = cfg_idx[..n_inc]
+            .iter()
+            .map(|&i| trial.config_space().at(i))
+            .collect();
+        let ctl = AdmissionController::new(AdmissionConfig::default());
+        // NEG_INFINITY baseline disables the floor, maximizing Accept
+        // coverage — this property is about feasibility, not the floor.
+        let decision = ctl.admit(
+            &trial,
+            &incumbent_configs,
+            Some(&alive),
+            f64::NEG_INFINITY,
+            &toy_benefit,
+            n_inc,
+            0,
+            &NoopRecorder,
+        );
+        if let AdmissionDecision::Accept(report) = decision {
+            let mut configs = incumbent_configs.clone();
+            configs.push(report.newcomer_config);
+            let a = &report.assignment;
+            // Every camera's streams are placed.
+            let mut sources: Vec<usize> = a.streams.iter().map(|s| s.id.source).collect();
+            sources.sort_unstable();
+            sources.dedup();
+            prop_assert_eq!(sources.len(), n_inc + 1, "some camera unplaced");
+            // Groups: Const2 per group, distinct live servers.
+            let mut seen = std::collections::HashSet::new();
+            for (g, &server) in a.groups.iter().zip(&a.group_server) {
+                prop_assert!(server < n_servers);
+                prop_assert!(alive[server], "group placed on a dead server");
+                prop_assert!(seen.insert(server), "two groups share a server");
+                let members: Vec<_> = g.iter().map(|&i| a.streams[i]).collect();
+                prop_assert!(
+                    const2_zero_jitter_ok(&members),
+                    "accepted placement violates Const2"
+                );
+            }
+        }
+    }
+
+    /// Departures monotonically free capacity: after each departure the
+    /// total utilization (sum of proc/period) weakly decreases, the
+    /// placement stays zero-jitter feasible, and an incremental repair
+    /// never grows the set of occupied servers.
+    #[test]
+    fn departures_monotonically_free_capacity(
+        n in 2usize..=4,
+        n_servers in 2usize..=3,
+        seed in 0u64..500,
+        cfg_idx in configs_strategy(4, 72),
+    ) {
+        let base = Scenario::uniform(n, n_servers, 20e6, seed);
+        let mut configs: Vec<VideoConfig> = cfg_idx[..n]
+            .iter()
+            .map(|&i| base.config_space().at(i))
+            .collect();
+        // Vacuous when the starting system is unschedulable.
+        prop_assume!(base.schedule(&configs).is_ok());
+        let a0 = base.schedule(&configs).expect("just checked");
+        let mut clips: Vec<ClipProfile> =
+            (0..n).map(|i| base.clip(i).clone()).collect();
+        let mut resched = Rescheduler::new();
+        resched.install(&a0);
+        let util = |a: &eva_sched::Assignment| -> f64 {
+            a.streams.iter().map(|s| s.proc as f64 / s.period as f64).sum()
+        };
+        let occupied = |a: &eva_sched::Assignment| a.group_server.len();
+        let mut prev_util = util(&a0);
+        let mut prev_occupied = occupied(&a0);
+        // Depart the last camera repeatedly until one remains.
+        while clips.len() > 1 {
+            let camera = clips.len() - 1;
+            clips.pop();
+            configs.pop();
+            let scenario = Scenario::new(
+                clips.clone(),
+                base.uplinks().to_vec(),
+                base.config_space().clone(),
+            );
+            let (a, scope) = resched
+                .replan(
+                    &scenario,
+                    &configs,
+                    None,
+                    ReplanTrigger::Departure { camera },
+                    &NoopRecorder,
+                )
+                .expect("removing load cannot make a feasible system infeasible");
+            let u = util(&a);
+            prop_assert!(
+                u <= prev_util + 1e-12,
+                "departure increased utilization: {} -> {}",
+                prev_util,
+                u
+            );
+            for (g, _) in a.groups.iter().zip(&a.group_server) {
+                let members: Vec<_> = g.iter().map(|&i| a.streams[i]).collect();
+                prop_assert!(const2_zero_jitter_ok(&members));
+            }
+            if matches!(scope, ReplanScope::Incremental { .. }) {
+                prop_assert!(
+                    occupied(&a) <= prev_occupied,
+                    "incremental departure repair grew the server footprint"
+                );
+            }
+            prev_util = u;
+            prev_occupied = occupied(&a);
+        }
+    }
+}

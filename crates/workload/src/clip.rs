@@ -6,10 +6,9 @@
 //! factors multiplying the shared surfaces in [`crate::surfaces`].
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Per-clip content factors (all multiplicative, 1.0 = reference clip).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClipProfile {
     /// Human-readable name (e.g. "MOT16-02").
     pub name: String,

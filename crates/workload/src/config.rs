@@ -5,8 +5,6 @@
 //! Sec. 2.2 profiles resolutions up to ~2000 px and rates up to 30 fps;
 //! we use 9 resolution and 8 frame-rate knobs over the same ranges.
 
-use serde::{Deserialize, Serialize};
-
 /// Default resolution knobs (pixel height of the long edge).
 pub const DEFAULT_RESOLUTIONS: [f64; 9] = [
     360.0, 480.0, 600.0, 720.0, 900.0, 1080.0, 1440.0, 1800.0, 2160.0,
@@ -16,7 +14,7 @@ pub const DEFAULT_RESOLUTIONS: [f64; 9] = [
 pub const DEFAULT_FRAME_RATES: [f64; 8] = [1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0];
 
 /// One stream's configuration: resolution and frame sampling rate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VideoConfig {
     /// Resolution in pixels (long-edge height).
     pub resolution: f64,

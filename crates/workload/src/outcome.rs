@@ -5,8 +5,6 @@
 //! order them `[latency, accuracy, network, computation, energy]` to
 //! match the paper's subscripts `{lct, acc, net, com, eng}`.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of optimization objectives.
 pub const N_OBJECTIVES: usize = 5;
 
@@ -29,7 +27,7 @@ pub mod idx {
 }
 
 /// A system-level outcome: the scheduler's five observables.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Outcome {
     /// Mean end-to-end latency across streams (seconds) — Eq. 5.
     pub latency_s: f64,

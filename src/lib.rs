@@ -15,6 +15,7 @@
 //! | [`prefgp`] | `eva-prefgp` | pairwise preference GP + EUBO |
 //! | [`bo`] | `eva-bo` | qNEI/qEI/qUCB/qSR + BO driver |
 //! | [`sched`] | `eva-sched` | zero-jitter grouping + Hungarian |
+//! | [`serve`] | `eva-serve` | churn, admission control, rescheduling |
 //! | [`sim`] | `eva-sim` | discrete-event cluster simulator |
 //! | [`workload`] | `eva-workload` | synthetic MOT16-like workload |
 //! | [`baselines`] | `eva-baselines` | JCAB, FACT, fixed-weight |
@@ -47,6 +48,7 @@ pub use eva_linalg as linalg;
 pub use eva_opt as opt;
 pub use eva_prefgp as prefgp;
 pub use eva_sched as sched;
+pub use eva_serve as serve;
 pub use eva_sim as sim;
 pub use eva_stats as stats;
 pub use eva_workload as workload;

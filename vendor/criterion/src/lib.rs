@@ -1,0 +1,231 @@
+//! Vendored, offline subset of the `criterion` API.
+//!
+//! The build container has no registry access, so the workspace vendors
+//! the benchmarking surface its `benches/` use: [`Criterion`],
+//! [`BenchmarkId`], benchmark groups with `bench_function` /
+//! `bench_with_input` / `sample_size` / `throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros. Statistics are
+//! deliberately simple — fixed-iteration timing with a mean/min/max
+//! report — but the harness shape (and therefore compilation and CI
+//! smoke-running of every bench) is preserved.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (accepted, echoed in the report line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("decompose", n)` → `decompose/{n}`.
+    pub fn new(function_id: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives a single benchmark's timing loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` for the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.elapsed.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one(label: &str, samples: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: samples,
+        elapsed: Vec::new(),
+    };
+    f(&mut b);
+    if b.elapsed.is_empty() {
+        println!("{label}: no samples");
+        return;
+    }
+    let total: Duration = b.elapsed.iter().sum();
+    let mean = total / b.elapsed.len() as u32;
+    let min = b.elapsed.iter().min().copied().unwrap_or_default();
+    let max = b.elapsed.iter().max().copied().unwrap_or_default();
+    println!(
+        "{label}: mean {mean:?} min {min:?} max {max:?} ({} iters)",
+        b.elapsed.len()
+    );
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Record a throughput annotation (echoed only).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        println!("{}: throughput {t:?}", self.name);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        run_one(&format!("{}/{id}", self.name), self.sample_size, &mut f);
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(
+            &format!("{}/{id}", self.name),
+            self.sample_size,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+    }
+
+    /// Finish the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Criterion {
+    /// Set the default per-benchmark iteration count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Benchmark a standalone closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.effective_samples(), &mut f);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.effective_samples();
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    fn effective_samples(&self) -> u64 {
+        // A handful of iterations keeps `cargo test`/CI smoke runs of
+        // benches fast; `CRITERION_SAMPLES` raises it for real timing.
+        if self.sample_size > 0 {
+            return self.sample_size;
+        }
+        std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10)
+    }
+}
+
+/// Define a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn routine(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(7));
+        g.bench_with_input(BenchmarkId::new("square", 4), &4u64, |b, &n| {
+            b.iter(|| n * n)
+        });
+        g.bench_function("plain", |b| b.iter(|| black_box(2) * 2));
+        g.finish();
+    }
+
+    crate::criterion_group!(benches, routine);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,155 @@
+//! Vendored, offline subset of the `rayon` API.
+//!
+//! The build container has no registry access, so the workspace vendors
+//! the parallel-iterator entry points it uses (`par_iter`,
+//! `par_chunks_mut`) as *sequential* delegating shims: they return the
+//! corresponding `std` iterators, so all downstream adapter chains
+//! (`enumerate`, `map`, `for_each`, `collect`, …) compile unchanged.
+//! Results are bit-identical to the parallel versions by construction —
+//! the fan-out was always order-independent row work.
+
+pub mod prelude {
+    //! One-stop imports, mirroring `rayon::prelude`.
+
+    /// `par_iter` over anything that borrows into a slice.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The item type yielded by the iterator.
+        type Item: 'data;
+        /// Sequential stand-in for rayon's borrowing parallel iterator.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Iterate (sequentially) where rayon would fan out.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `par_iter_mut` over anything that borrows into a mutable slice.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The item type yielded by the iterator.
+        type Item: 'data;
+        /// Sequential stand-in for rayon's mutable parallel iterator.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Iterate (sequentially) where rayon would fan out.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Send> IntoParallelRefMutIterator<'data> for [T] {
+        type Item = &'data mut T;
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'data, T: 'data + Send> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Item = &'data mut T;
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    /// `into_par_iter` for owned collections and ranges.
+    pub trait IntoParallelIterator {
+        /// The item type yielded by the iterator.
+        type Item;
+        /// Sequential stand-in for rayon's consuming parallel iterator.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Iterate (sequentially) where rayon would fan out.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = std::ops::Range<usize>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    /// Chunked mutable access (`par_chunks_mut`) over slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Sequential stand-in for rayon's parallel mutable chunks.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// Read-only chunked access (`par_chunks`) over slices.
+    pub trait ParallelSlice<T: Sync> {
+        /// Sequential stand-in for rayon's parallel chunks.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+}
+
+/// Run two closures (sequentially here; rayon runs them on the pool).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_all_rows() {
+        let mut data = vec![0usize; 12];
+        data.par_chunks_mut(4)
+            .enumerate()
+            .for_each(|(i, row)| row.iter_mut().for_each(|x| *x = i));
+        assert_eq!(data, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x");
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+}
