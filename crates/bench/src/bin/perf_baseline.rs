@@ -24,15 +24,23 @@
 //! ```text
 //! cargo run --release -p eva-bench --bin perf_baseline [--quick] [--out PATH]
 //! cargo run --release -p eva-bench --bin perf_baseline -- --validate PATH
+//! cargo run --release -p eva-bench --bin perf_baseline -- \
+//!     --compare BASELINE FRESH [--max-regression PCT] [--allow PHASES]
 //! ```
 //!
 //! `--validate` re-reads an emitted file and checks the schema: every
 //! workload has finite timings, and the union of phases covers the
 //! pipeline (`outcome_fit`, `pref_model`, `bo_search`, `grouping`,
-//! `assignment`, `des`, `admission`, `replan`). CI runs the quick suite
-//! and the validator on
-//! every PR; comparing two `BENCH_perf.json` files across commits is
-//! how a per-phase regression is caught before it lands.
+//! `assignment`, `des`, `admission`, `replan`).
+//!
+//! `--compare` checks a fresh run against a committed baseline: for
+//! every workload present in both files, the `outcome_fit` and `decide`
+//! phase means must not regress by more than `--max-regression` percent
+//! (default 25). `--allow` names phases (comma-separated, or `all`)
+//! whose regressions are tolerated — the CI workflow wires it to an
+//! env-var override so an intentional slowdown can land with an
+//! explicit annotation instead of a red build. CI runs the quick suite,
+//! the validator, and the comparator on every PR.
 
 use std::time::Instant;
 
@@ -205,12 +213,35 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let mut out_path = String::from("BENCH_perf.json");
     let mut validate_path: Option<String> = None;
+    let mut compare_paths: Option<(String, String)> = None;
+    let mut max_regression_pct = 25.0f64;
+    let mut allow: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--out" => out_path = it.next().expect("--out needs a path").clone(),
             "--validate" => {
                 validate_path = Some(it.next().expect("--validate needs a path").clone());
+            }
+            "--compare" => {
+                let base = it.next().expect("--compare needs BASELINE FRESH").clone();
+                let fresh = it.next().expect("--compare needs BASELINE FRESH").clone();
+                compare_paths = Some((base, fresh));
+            }
+            "--max-regression" => {
+                max_regression_pct = it
+                    .next()
+                    .expect("--max-regression needs a percentage")
+                    .parse()
+                    .expect("--max-regression: not a number");
+            }
+            "--allow" => {
+                let list = it.next().expect("--allow needs a phase list").clone();
+                allow.extend(
+                    list.split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty()),
+                );
             }
             "--quick" => {}
             other => {
@@ -225,6 +256,17 @@ fn main() {
             Ok(n) => println!("{path}: OK ({n} workloads, schema {SCHEMA})"),
             Err(e) => {
                 eprintln!("{path}: INVALID — {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if let Some((base, fresh)) = compare_paths {
+        match compare(&base, &fresh, max_regression_pct, &allow) {
+            Ok(()) => println!("compare: OK (no phase regressed > {max_regression_pct:.0}%)"),
+            Err(e) => {
+                eprintln!("compare: FAILED — {e}");
                 std::process::exit(1);
             }
         }
@@ -273,6 +315,88 @@ fn main() {
     )
     .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("\n(wrote {out_path})");
+}
+
+/// Phases gated by `--compare`: the decision-path costs the repo is
+/// actively optimizing (ROADMAP item 1).
+const COMPARE_PHASES: [&str; 2] = ["outcome_fit", "decide"];
+
+/// Compare a fresh baseline against a committed one: per workload, the
+/// [`COMPARE_PHASES`] means must not regress more than `max_pct`
+/// percent. Phases named in `allow` (or `allow = ["all"]`) may regress
+/// with a printed notice instead of an error.
+fn compare(
+    base_path: &str,
+    fresh_path: &str,
+    max_pct: f64,
+    allow: &[String],
+) -> Result<(), String> {
+    let load = |path: &str| -> Result<serde_json::Value, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+    };
+    let base = load(base_path)?;
+    let fresh = load(fresh_path)?;
+    for (doc, path) in [(&base, base_path), (&fresh, fresh_path)] {
+        let schema = doc.get("schema").and_then(|s| s.as_str()).unwrap_or("");
+        if schema != SCHEMA {
+            return Err(format!("{path}: schema {schema:?} != {SCHEMA:?}"));
+        }
+    }
+    if base.get("quick") != fresh.get("quick") {
+        println!("note: comparing a quick and a full suite — treating as comparable");
+    }
+    let base_wl = base
+        .get("workloads")
+        .and_then(|w| w.as_object())
+        .ok_or_else(|| format!("{base_path}: missing workloads"))?;
+    let fresh_wl = fresh
+        .get("workloads")
+        .and_then(|w| w.as_object())
+        .ok_or_else(|| format!("{fresh_path}: missing workloads"))?;
+    let mean_of = |entry: &serde_json::Value, phase: &str| -> Option<f64> {
+        entry
+            .get("phases")?
+            .get(phase)?
+            .get("mean_ms")?
+            .as_f64()
+            .filter(|v| v.is_finite() && *v > 0.0)
+    };
+    let allowed = |phase: &str| allow.iter().any(|a| a == phase || a == "all");
+    let mut failures: Vec<String> = Vec::new();
+    let mut compared = 0usize;
+    for (name, fresh_entry) in fresh_wl {
+        // Workloads new to the fresh file have no reference; skip them.
+        let Some(base_entry) = base_wl.get(name) else {
+            continue;
+        };
+        for phase in COMPARE_PHASES {
+            let (Some(b), Some(f)) = (mean_of(base_entry, phase), mean_of(fresh_entry, phase))
+            else {
+                continue;
+            };
+            compared += 1;
+            let pct = (f / b - 1.0) * 100.0;
+            println!("{name}/{phase}: {b:.2} ms -> {f:.2} ms ({pct:+.1}%)");
+            if pct > max_pct {
+                if allowed(phase) {
+                    println!("  regression allow-listed ({phase})");
+                } else {
+                    failures.push(format!(
+                        "{name}/{phase} regressed {pct:+.1}% (mean {b:.2} -> {f:.2} ms)"
+                    ));
+                }
+            }
+        }
+    }
+    if compared == 0 {
+        return Err("no comparable (workload, phase) pairs between the two files".into());
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
 }
 
 /// Validate an emitted baseline file: schema tag, per-workload layout,

@@ -4,6 +4,13 @@
 //! knobs), so the inner `arg max qNEI` is a scan over candidates with
 //! greedy sequential batch construction. Common random numbers across
 //! candidates make the scan low-variance; rayon parallelizes it.
+//!
+//! The `fit` callback rebuilds the surrogate after each batch of
+//! observations. When the surrogate wraps a GP with fixed
+//! hyperparameters, prefer the incremental update
+//! ([`crate::GpSurrogate::conditioned`], backed by a Cholesky factor
+//! extension) over a from-scratch refit — the fast path is
+//! property-tested equivalent to the rebuild.
 
 use eva_linalg::Mat;
 use rand::Rng;

@@ -40,6 +40,16 @@ impl GpSurrogate {
     pub fn model(&self) -> &GpModel {
         &self.model
     }
+
+    /// Condition the surrogate on new observations without re-fitting
+    /// hyperparameters: extends the wrapped GP's cached Cholesky factor
+    /// ([`GpModel::condition`], O(k·n²)) instead of rebuilding it, the
+    /// cheap between-refit update of the BO loop.
+    pub fn conditioned(&self, x_new: &[Vec<f64>], y_new: &[f64]) -> eva_gp::Result<GpSurrogate> {
+        Ok(GpSurrogate {
+            model: self.model.condition(x_new, y_new)?,
+        })
+    }
 }
 
 impl SurrogateSampler for GpSurrogate {
@@ -96,6 +106,24 @@ mod tests {
             (0..samples.rows()).map(|r| samples[(r, 0)]).sum::<f64>() / samples.rows() as f64;
         let want = s.posterior_mean(&[0.42]);
         assert!((mc_mean - want).abs() < 0.02, "{mc_mean} vs {want}");
+    }
+
+    #[test]
+    fn conditioned_matches_rebuilt_surrogate() {
+        let s = surrogate();
+        let x_new = vec![vec![0.33], vec![0.77]];
+        let y_new = vec![0.2, -0.4];
+        let fast = s.conditioned(&x_new, &y_new).unwrap();
+        let slow = GpSurrogate::new(s.model().with_added(&x_new, &y_new).unwrap());
+        for q in [0.1f64, 0.5, 0.95] {
+            let a = fast.posterior_mean(&[q]);
+            let b = slow.posterior_mean(&[q]);
+            assert!((a - b).abs() < 1e-8, "{a} vs {b} at {q}");
+        }
+        let xs = vec![vec![0.25], vec![0.6]];
+        let sa = fast.joint_samples(&xs, 32, 5);
+        let sb = slow.joint_samples(&xs, 32, 5);
+        assert!(sa.max_abs_diff(&sb) < 1e-6);
     }
 
     #[test]

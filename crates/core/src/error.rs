@@ -28,6 +28,13 @@ pub enum CoreError {
         /// Which quantity went non-finite.
         context: &'static str,
     },
+    /// The profiling budget is below the minimum the GP fits need.
+    InsufficientProfiling {
+        /// Minimum samples per camera required.
+        needed: usize,
+        /// Samples per camera actually requested.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -38,6 +45,12 @@ impl std::fmt::Display for CoreError {
             CoreError::Preference(e) => write!(f, "preference-model failure: {e}"),
             CoreError::NonFinite { context } => {
                 write!(f, "non-finite value in {context}")
+            }
+            CoreError::InsufficientProfiling { needed, got } => {
+                write!(
+                    f,
+                    "profiling budget too small: need at least {needed} samples per camera, got {got}"
+                )
             }
         }
     }
@@ -50,6 +63,7 @@ impl std::error::Error for CoreError {
             CoreError::OutcomeModel(e) => Some(e),
             CoreError::Preference(e) => Some(e),
             CoreError::NonFinite { .. } => None,
+            CoreError::InsufficientProfiling { .. } => None,
         }
     }
 }
@@ -87,5 +101,9 @@ mod tests {
         let nf = CoreError::NonFinite { context: "benefit" };
         assert!(nf.to_string().contains("benefit"));
         assert!(std::error::Error::source(&nf).is_none());
+        let ip = CoreError::InsufficientProfiling { needed: 4, got: 2 };
+        assert!(ip.to_string().contains("at least 4"));
+        assert!(ip.to_string().contains("got 2"));
+        assert!(std::error::Error::source(&ip).is_none());
     }
 }

@@ -120,6 +120,8 @@ pub fn run_online_recorded<R: Rng + ?Sized>(
 ) -> OnlineRun {
     assert!(n_epochs > 0, "run_online: zero epochs");
     let initial = drifting.snapshot();
+    // One scheduler for the whole run: per-epoch refits warm-start from
+    // the previous epoch's fitted GP hyperparameters (see `Pamo`).
     let pamo = Pamo::new(config.clone());
 
     let mut static_configs: Option<Vec<VideoConfig>> = None;

@@ -106,15 +106,42 @@ pub struct PamoDecision {
 }
 
 /// The PaMO scheduler.
-#[derive(Debug, Clone, Default)]
+///
+/// Carries cross-decision warm-start state: the hyperparameter vectors
+/// fitted by one decision seed the next decision's outcome-model fits
+/// (which then drop one random restart). The online/serving loops
+/// construct one `Pamo` and reuse it across epochs, so per-epoch refits
+/// warm-start automatically; a fresh `Pamo` always fits cold.
+#[derive(Debug, Default)]
 pub struct Pamo {
     config: PamoConfig,
+    /// `[objective] -> theta` of the previous decision's shared fits.
+    warm: Mutex<Option<Vec<Vec<f64>>>>,
+}
+
+impl Clone for Pamo {
+    fn clone(&self) -> Self {
+        Pamo {
+            config: self.config.clone(),
+            warm: Mutex::new(self.warm.lock().clone()),
+        }
+    }
 }
 
 impl Pamo {
     /// With explicit tuning.
     pub fn new(config: PamoConfig) -> Self {
-        Pamo { config }
+        Pamo {
+            config,
+            warm: Mutex::new(None),
+        }
+    }
+
+    /// Drop the warm-start state so the next decision fits its outcome
+    /// models cold (e.g. after a workload change that invalidates the
+    /// previous hyperparameters).
+    pub fn reset_warm_start(&self) {
+        *self.warm.lock() = None;
     }
 
     /// Run Algorithm 2 on a scenario. `true_pref` plays the decision
@@ -166,14 +193,18 @@ impl Pamo {
         let cfg = &self.config;
         let normalizer = OutcomeNormalizer::for_scenario(scenario);
 
-        // (1) Outcome function fitting.
-        let bank = OutcomeModelBank::fit_initial_recorded(
+        // (1) Outcome function fitting, warm-started from the previous
+        // decision's hyperparameters when this scheduler has made one.
+        let warm_thetas = self.warm.lock().clone();
+        let bank = OutcomeModelBank::fit_initial_warm_recorded(
             scenario,
             cfg.profiling_per_camera,
             cfg.profile_noise,
+            warm_thetas.as_deref(),
             rng,
             rec,
         )?;
+        *self.warm.lock() = Some(bank.shared_thetas());
 
         // (2) System preference modeling.
         let (pool, pref_eval, comparisons_used) = {
@@ -468,6 +499,30 @@ mod tests {
             d_eng.outcome.power_w,
             d_acc.outcome.power_w
         );
+    }
+
+    #[test]
+    fn warm_started_second_decision_stays_good() {
+        let sc = scenario();
+        let pref = TruePreference::uniform(&sc);
+        let pamo = Pamo::new(tiny_config().plus());
+        let first = pamo.decide(&sc, &pref, &mut seeded(7)).unwrap();
+        // Second decision on the same scheduler warm-starts its GP fits;
+        // quality must not regress below the trivial floor and the
+        // decision must stay feasible.
+        let second = pamo.decide(&sc, &pref, &mut seeded(8)).unwrap();
+        let floor = sc
+            .evaluate(&[VideoConfig::new(360.0, 1.0); 3])
+            .unwrap()
+            .outcome;
+        assert!(second.true_benefit >= pref.benefit(&floor));
+        assert!(sc.schedule(&second.configs).is_ok());
+        // After a reset the scheduler fits cold again and reproduces the
+        // first decision bit-for-bit on the same seed.
+        pamo.reset_warm_start();
+        let cold_again = pamo.decide(&sc, &pref, &mut seeded(7)).unwrap();
+        assert_eq!(cold_again.configs, first.configs);
+        assert_eq!(cold_again.true_benefit, first.true_benefit);
     }
 
     #[test]

@@ -687,6 +687,8 @@ pub fn run_serving_recorded<R: Rng + ?Sized>(
     }
     timeline.sort_by(|a, b| a.0.total_cmp(&b.0));
 
+    // One scheduler for the whole serving run: every replan warm-starts
+    // its GP fits from the previous decision's hyperparameters.
     let pamo = Pamo::new(config.clone());
     let heartbeat = secs_to_ticks(serving.heartbeat_s);
     let mut state = ServingLoop {

@@ -5,10 +5,13 @@
 //! normalized to roughly unit scale (the workload layer normalizes
 //! configuration knobs to \[0,1\]); the default bounds reflect that.
 
+use eva_linalg::{vecops, Cholesky, Mat};
 use eva_obs::{span, NoopRecorder, Phase, Recorder};
 use eva_opt::{multi_start, NelderMeadOptions};
 use rand::Rng;
 
+use crate::kernel::base_correlation;
+use crate::model::standardization_of;
 use crate::{GpModel, Kernel, KernelType, Result};
 
 /// Configuration for [`fit_gp`].
@@ -28,6 +31,12 @@ pub struct FitConfig {
     pub restarts: usize,
     /// Max objective evaluations per local search.
     pub max_evals: usize,
+    /// Warm-start log-parameter vector from a previous fit (see
+    /// [`theta_of`]). When set (and the right length for the data), it
+    /// replaces the cold default start *and* one random restart is
+    /// dropped — the warm seed is already a near-optimum, so the search
+    /// both starts closer and does less exploration.
+    pub warm_start: Option<Vec<f64>>,
 }
 
 impl Default for FitConfig {
@@ -40,7 +49,107 @@ impl Default for FitConfig {
             noise_bounds: (1e-6, 1.0),
             restarts: 4,
             max_evals: 200,
+            warm_start: None,
         }
+    }
+}
+
+/// The log-parameter vector `[ln ls_1 .. ln ls_d, ln signal, ln noise]`
+/// of a fitted model — the shape [`fit_gp`] optimizes over with
+/// `ard: true`, and the shape [`FitConfig::warm_start`] expects.
+pub fn theta_of(model: &GpModel) -> Vec<f64> {
+    let k = model.kernel();
+    let mut theta: Vec<f64> = k.lengthscales().iter().map(|&l| l.ln()).collect();
+    theta.push(k.signal_var().ln());
+    theta.push(model.noise_var().ln());
+    theta
+}
+
+/// Log-marginal-likelihood evaluator with per-fit caching.
+///
+/// The Nelder-Mead objective is called hundreds of times per fit with
+/// the *same* data and only the hyperparameters changing. Everything
+/// theta-independent is computed once here: the per-dimension squared
+/// coordinate differences (so each evaluation assembles `K` with one
+/// multiply-add per dimension per pair instead of re-walking the input
+/// vectors) and the standardized target vector.
+struct LmlEvaluator {
+    family: KernelType,
+    ard: bool,
+    n_ls: usize,
+    /// Per-dimension matrices of squared coordinate differences.
+    sq_diff: Vec<Mat>,
+    /// Standardized targets.
+    z: Vec<f64>,
+}
+
+impl LmlEvaluator {
+    fn new(x: &[Vec<f64>], y: &[f64], family: KernelType, ard: bool, n_ls: usize) -> Self {
+        let n = x.len();
+        let dim = x.first().map(|p| p.len()).unwrap_or(0);
+        let mut sq_diff: Vec<Mat> = (0..dim).map(|_| Mat::zeros(n, n)).collect();
+        for (d, m) in sq_diff.iter_mut().enumerate() {
+            for i in 0..n {
+                for j in 0..i {
+                    let diff = x[i][d] - x[j][d];
+                    let v = diff * diff;
+                    m[(i, j)] = v;
+                    m[(j, i)] = v;
+                }
+            }
+        }
+        let (y_mean, y_std) = standardization_of(y);
+        let z: Vec<f64> = y.iter().map(|&v| (v - y_mean) / y_std).collect();
+        LmlEvaluator {
+            family,
+            ard,
+            n_ls,
+            sq_diff,
+            z,
+        }
+    }
+
+    /// Negative log marginal likelihood at `theta`; `+inf` when the
+    /// kernel matrix is not factorizable at these hyperparameters.
+    fn nll(&self, theta: &[f64]) -> f64 {
+        let n = self.z.len();
+        let dim = self.sq_diff.len();
+        let inv_ls_sq: Vec<f64> = if self.ard {
+            theta[..self.n_ls]
+                .iter()
+                .map(|&t| (-2.0 * t).exp())
+                .collect()
+        } else {
+            vec![(-2.0 * theta[0]).exp(); dim]
+        };
+        let signal = theta[self.n_ls].exp();
+        let noise = theta[self.n_ls + 1].exp();
+        if !signal.is_finite() || !noise.is_finite() || noise <= 0.0 {
+            return f64::INFINITY;
+        }
+        let mut k = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..i {
+                let mut r2 = 0.0;
+                for (d, inv) in inv_ls_sq.iter().enumerate() {
+                    r2 += self.sq_diff[d][(i, j)] * inv;
+                }
+                let v = signal * base_correlation(self.family, r2);
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+            k[(i, i)] = signal + noise;
+        }
+        let chol = match Cholesky::decompose_jittered(&k) {
+            Ok(c) => c,
+            Err(_) => return f64::INFINITY,
+        };
+        let alpha = match chol.solve(&self.z) {
+            Ok(a) => a,
+            Err(_) => return f64::INFINITY,
+        };
+        let data_fit = vecops::dot(&self.z, &alpha);
+        0.5 * data_fit + 0.5 * chol.log_det() + 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln()
     }
 }
 
@@ -97,24 +206,49 @@ pub fn fit_gp_recorded<R: Rng + ?Sized>(
         GpModel::new(kernel, noise, x.to_vec(), y.to_vec())
     };
 
-    let objective = |theta: &[f64]| -> f64 {
-        match build(theta) {
-            Ok(m) => -m.log_marginal_likelihood(),
-            Err(_) => f64::INFINITY,
+    let evaluator = LmlEvaluator::new(x, y, config.family, config.ard, n_ls);
+    let objective = |theta: &[f64]| -> f64 { evaluator.nll(theta) };
+
+    // Warm seed from a previous fit (clamped into bounds), or the cold
+    // default start: unit lengthscales / unit signal / modest noise.
+    let warm = config
+        .warm_start
+        .as_deref()
+        .filter(|w| w.len() == n_ls + 2 && w.iter().all(|v| v.is_finite()));
+    let (x0, restarts) = match warm {
+        Some(w) => {
+            let clamped: Vec<f64> = w
+                .iter()
+                .zip(&bounds)
+                .map(|(&v, &(lo, hi))| v.clamp(lo, hi))
+                .collect();
+            (clamped, config.restarts.saturating_sub(1))
+        }
+        None => {
+            let mut x0 = vec![0.0f64; n_ls + 2];
+            x0[n_ls] = 0.0; // log signal = 0
+            x0[n_ls + 1] = (0.01f64).ln();
+            (x0, config.restarts)
         }
     };
-
-    // Start from unit lengthscales / unit signal / modest noise.
-    let mut x0 = vec![0.0f64; n_ls + 2];
-    x0[n_ls] = 0.0; // log signal = 0
-    x0[n_ls + 1] = (0.01f64).ln();
+    // Looser tolerances than the solver default: the objective lives in
+    // log-parameter space, where an x-diameter of 1e-3 means every
+    // hyperparameter is pinned to ~0.1 % — far below any effect on
+    // predictions. The solver needs both spreads under tolerance, and
+    // flat ARD plateaus shrink the simplex one halving per contraction,
+    // so tolerances of 1e-9 just burn the whole eval budget on polish.
     let opts = NelderMeadOptions {
         max_evals: config.max_evals,
+        f_tol: 1e-6,
+        x_tol: 1e-3,
         ..Default::default()
     };
-    let best = multi_start(objective, &x0, &bounds, config.restarts, &opts, rng);
+    let best = multi_start(objective, &x0, &bounds, restarts, &opts, rng);
     if rec.enabled() {
         rec.add("gp.fits", 1);
+        if warm.is_some() {
+            rec.add("gp.fit.warm_starts", 1);
+        }
         rec.observe("gp.fit.solver_evals", best.evals as f64);
         rec.observe("gp.cholesky.dim", x.len() as f64);
     }
@@ -200,6 +334,58 @@ mod tests {
         let model = fit_gp(&x, &y, &cfg, &mut rng).unwrap();
         let ls = model.kernel().lengthscales();
         assert_eq!(ls[0], ls[1]);
+    }
+
+    #[test]
+    fn theta_of_matches_fitted_hyperparameters() {
+        let mut rng = seeded(26);
+        let x: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64 / 20.0, (i % 4) as f64 / 4.0])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|p| (5.0 * p[0]).sin() + p[1]).collect();
+        let m = fit_gp(&x, &y, &FitConfig::default(), &mut rng).unwrap();
+        let theta = theta_of(&m);
+        assert_eq!(theta.len(), 2 + 2); // 2 ARD lengthscales + signal + noise
+        for (t, &l) in theta.iter().zip(m.kernel().lengthscales()) {
+            assert!((t.exp() - l).abs() < 1e-12);
+        }
+        assert!((theta[2].exp() - m.kernel().signal_var()).abs() < 1e-12);
+        assert!((theta[3].exp() - m.noise_var()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_start_preserves_fit_quality() {
+        let mut rng = seeded(27);
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
+        let y: Vec<f64> = x.iter().map(|p| (6.0 * p[0]).sin()).collect();
+        let cold = fit_gp(&x, &y, &FitConfig::default(), &mut rng).unwrap();
+        // Re-fit the same data seeded from the cold optimum, one restart
+        // fewer — the warm fit must land at (or above) the same LML
+        // basin, not degrade.
+        let warm_cfg = FitConfig {
+            warm_start: Some(theta_of(&cold)),
+            ..Default::default()
+        };
+        let warm = fit_gp(&x, &y, &warm_cfg, &mut rng).unwrap();
+        assert!(
+            warm.log_marginal_likelihood() >= cold.log_marginal_likelihood() - 1e-6,
+            "warm {} vs cold {}",
+            warm.log_marginal_likelihood(),
+            cold.log_marginal_likelihood()
+        );
+    }
+
+    #[test]
+    fn warm_start_with_wrong_shape_is_ignored() {
+        let mut rng = seeded(28);
+        let x: Vec<Vec<f64>> = (0..15).map(|i| vec![i as f64 / 15.0]).collect();
+        let y: Vec<f64> = x.iter().map(|p| p[0] * p[0]).collect();
+        let cfg = FitConfig {
+            warm_start: Some(vec![0.0; 7]), // wrong length for 1-D ARD
+            ..Default::default()
+        };
+        let m = fit_gp(&x, &y, &cfg, &mut rng).unwrap();
+        assert!(m.log_marginal_likelihood().is_finite());
     }
 
     #[test]

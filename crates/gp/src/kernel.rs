@@ -141,7 +141,7 @@ impl Kernel {
 
 /// The base correlation function `base(r²)` with `base(0) = 1`.
 #[inline]
-fn base_correlation(family: KernelType, r2: f64) -> f64 {
+pub(crate) fn base_correlation(family: KernelType, r2: f64) -> f64 {
     match family {
         KernelType::Rbf => (-0.5 * r2).exp(),
         KernelType::Matern32 => {

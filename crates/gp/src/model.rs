@@ -59,12 +59,59 @@ impl GpModel {
         if !(noise_var > 0.0) {
             return Err(GpError::BadData("noise_var must be positive".into()));
         }
-        let y_mean = vecops::mean(&y);
-        let centered: Vec<f64> = y.iter().map(|&v| v - y_mean).collect();
-        let var = vecops::dot(&centered, &centered) / y.len() as f64;
-        let y_std = if var > 1e-24 { var.sqrt() } else { 1.0 };
-        let z: Vec<f64> = centered.iter().map(|&v| v / y_std).collect();
+        let (y_mean, y_std) = standardization_of(&y);
+        Self::build(kernel, noise_var, x, y, y_mean, y_std)
+    }
 
+    /// Build a GP with an *explicitly given* target standardization
+    /// instead of deriving it from `y`. This is the from-scratch
+    /// reference path for conditioning with fixed hyperparameters:
+    /// `noise_var` was fitted in a particular standardized scale, so
+    /// updates must keep `y_mean`/`y_std` frozen or the noise silently
+    /// changes meaning in original units (see [`GpModel::with_added`]).
+    pub fn with_standardization(
+        kernel: Kernel,
+        noise_var: f64,
+        x: Vec<Vec<f64>>,
+        y: Vec<f64>,
+        y_mean: f64,
+        y_std: f64,
+    ) -> Result<Self> {
+        if x.is_empty() || x.len() != y.len() {
+            return Err(GpError::BadData(format!(
+                "{} inputs vs {} targets",
+                x.len(),
+                y.len()
+            )));
+        }
+        if x.iter().any(|p| p.len() != kernel.dim()) {
+            return Err(GpError::BadData(format!(
+                "input dim != kernel dim {}",
+                kernel.dim()
+            )));
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // also rejects NaN
+        if !(noise_var > 0.0) {
+            return Err(GpError::BadData("noise_var must be positive".into()));
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(y_std > 0.0) || !y_mean.is_finite() {
+            return Err(GpError::BadData(format!(
+                "bad standardization: mean {y_mean}, std {y_std}"
+            )));
+        }
+        Self::build(kernel, noise_var, x, y, y_mean, y_std)
+    }
+
+    fn build(
+        kernel: Kernel,
+        noise_var: f64,
+        x: Vec<Vec<f64>>,
+        y: Vec<f64>,
+        y_mean: f64,
+        y_std: f64,
+    ) -> Result<Self> {
+        let z: Vec<f64> = y.iter().map(|&v| (v - y_mean) / y_std).collect();
         let mut k = kernel.matrix(&x);
         k.add_diag(noise_var);
         let chol = Cholesky::decompose_jittered(&k)?;
@@ -188,9 +235,21 @@ impl GpModel {
         -0.5 * data_fit - 0.5 * self.chol.log_det() - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
     }
 
+    /// Target standardization `(y_mean, y_std)` this model predicts in.
+    pub fn standardization(&self) -> (f64, f64) {
+        (self.y_mean, self.y_std)
+    }
+
     /// Condition on additional observations, keeping hyperparameters
     /// fixed (the BO inner loop re-fits hyperparameters only every few
     /// iterations; this is the cheap between-refit update).
+    ///
+    /// The target standardization is **frozen**: `noise_var` was fitted
+    /// in the original `y_std` scale, so re-deriving the standardization
+    /// from the grown target vector would silently re-scale the noise in
+    /// original units. This rebuilds the factorization from scratch —
+    /// it is the O(n³) reference path that [`GpModel::condition`] must
+    /// match.
     pub fn with_added(&self, x_new: &[Vec<f64>], y_new: &[f64]) -> Result<GpModel> {
         if x_new.len() != y_new.len() {
             return Err(GpError::BadData("with_added: length mismatch".into()));
@@ -199,8 +258,74 @@ impl GpModel {
         x.extend(x_new.iter().cloned());
         let mut y = self.y_raw.clone();
         y.extend_from_slice(y_new);
-        GpModel::new(self.kernel.clone(), self.noise_var, x, y)
+        GpModel::with_standardization(
+            self.kernel.clone(),
+            self.noise_var,
+            x,
+            y,
+            self.y_mean,
+            self.y_std,
+        )
     }
+
+    /// Incremental version of [`GpModel::with_added`]: extends the cached
+    /// Cholesky factor by the `k` new rows via [`Cholesky::extend`]
+    /// (O(k·n²) instead of O(n³)) and reuses the frozen standardization.
+    ///
+    /// Falls back to the from-scratch rebuild when the extension is not
+    /// numerically positive definite (e.g. a new point that duplicates a
+    /// training point while the old factor carries jitter the new block
+    /// can't absorb) — correctness never depends on the fast path.
+    pub fn condition(&self, x_new: &[Vec<f64>], y_new: &[f64]) -> Result<GpModel> {
+        if x_new.len() != y_new.len() {
+            return Err(GpError::BadData("condition: length mismatch".into()));
+        }
+        if x_new.is_empty() {
+            return Ok(self.clone());
+        }
+        if x_new.iter().any(|p| p.len() != self.dim()) {
+            return Err(GpError::BadData(format!(
+                "condition: input dim != kernel dim {}",
+                self.dim()
+            )));
+        }
+        if y_new.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::BadData("condition: non-finite target".into()));
+        }
+        let cross = self.kernel.cross_matrix(&self.x, x_new); // n x k
+        let mut corner = self.kernel.matrix(x_new); // k x k
+        corner.add_diag(self.noise_var);
+        let chol = match self.chol.extend(&cross, &corner) {
+            Ok(c) => c,
+            Err(_) => return self.with_added(x_new, y_new),
+        };
+        let mut x = self.x.clone();
+        x.extend(x_new.iter().cloned());
+        let mut y = self.y_raw.clone();
+        y.extend_from_slice(y_new);
+        let z: Vec<f64> = y.iter().map(|&v| (v - self.y_mean) / self.y_std).collect();
+        let alpha = chol.solve(&z)?;
+        Ok(GpModel {
+            kernel: self.kernel.clone(),
+            noise_var: self.noise_var,
+            x,
+            y_raw: y,
+            y_mean: self.y_mean,
+            y_std: self.y_std,
+            chol,
+            alpha,
+        })
+    }
+}
+
+/// Standardization `(mean, std)` derived from a target vector; the std
+/// falls back to 1.0 for (near-)constant targets.
+pub(crate) fn standardization_of(y: &[f64]) -> (f64, f64) {
+    let y_mean = vecops::mean(y);
+    let centered: Vec<f64> = y.iter().map(|&v| v - y_mean).collect();
+    let var = vecops::dot(&centered, &centered) / y.len().max(1) as f64;
+    let y_std = if var > 1e-24 { var.sqrt() } else { 1.0 };
+    (y_mean, y_std)
 }
 
 impl GpPosterior {
@@ -356,6 +481,67 @@ mod tests {
         let (b, vb) = m2.predict(&q);
         assert!((b - (1000.0 * a + 7.0)).abs() < 1e-6);
         assert!((vb - 1e6 * va).abs() < 1e-3);
+    }
+
+    #[test]
+    fn observation_noise_is_pinned_across_updates() {
+        // Regression: with_added used to re-standardize targets on every
+        // update, so noise_var (fitted in the old standardized units)
+        // silently drifted in original units as y_std moved. Feed updates
+        // whose targets massively widen the spread and pin the noise.
+        let m = toy_model();
+        let pinned = m.observation_noise();
+        let (mean0, std0) = m.standardization();
+        let m2 = m.with_added(&[vec![4.1]], &[250.0]).unwrap();
+        let m3 = m2.with_added(&[vec![4.3]], &[-300.0]).unwrap();
+        assert_eq!(m3.observation_noise(), pinned);
+        assert_eq!(m3.standardization(), (mean0, std0));
+        let m4 = m
+            .condition(&[vec![4.1], vec![4.3]], &[250.0, -300.0])
+            .unwrap();
+        assert_eq!(m4.observation_noise(), pinned);
+    }
+
+    #[test]
+    fn condition_matches_from_scratch_rebuild() {
+        let m = toy_model();
+        let x_new = vec![vec![0.9], vec![2.1], vec![3.3]];
+        let y_new = vec![4.2, 6.8, 5.1];
+        let fast = m.condition(&x_new, &y_new).unwrap();
+        let slow = m.with_added(&x_new, &y_new).unwrap();
+        for q in [vec![0.0], vec![1.5], vec![2.9], vec![8.0]] {
+            let (mf, vf) = fast.predict(&q);
+            let (ms, vs) = slow.predict(&q);
+            assert!((mf - ms).abs() < 1e-8, "mean {mf} vs {ms} at {q:?}");
+            assert!((vf - vs).abs() < 1e-8, "var {vf} vs {vs} at {q:?}");
+        }
+        assert!((fast.log_marginal_likelihood() - slow.log_marginal_likelihood()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn condition_falls_back_on_degenerate_updates() {
+        // Conditioning on an exact duplicate of a training point is the
+        // worst case for the Schur complement; the result must still be
+        // usable (fast path or fallback, transparently).
+        let m = toy_model();
+        let dup = m.train_x()[3].clone();
+        let m2 = m
+            .condition(std::slice::from_ref(&dup), &[m.train_y()[3]])
+            .unwrap();
+        let (mean, var) = m2.predict(&dup);
+        assert!(mean.is_finite() && var.is_finite());
+        assert!(var >= 0.0);
+    }
+
+    #[test]
+    fn condition_rejects_bad_inputs() {
+        let m = toy_model();
+        assert!(m.condition(&[vec![1.0]], &[1.0, 2.0]).is_err());
+        assert!(m.condition(&[vec![1.0, 2.0]], &[1.0]).is_err());
+        assert!(m.condition(&[vec![1.0]], &[f64::NAN]).is_err());
+        // Empty update is the identity.
+        let same = m.condition(&[], &[]).unwrap();
+        assert_eq!(same.n(), m.n());
     }
 
     #[test]

@@ -80,6 +80,51 @@ proptest! {
         prop_assert!((var2 - a * a * var1).abs() < 1e-6 * a * a + 1e-9);
     }
 
+    /// Incremental conditioning (Cholesky extension, frozen
+    /// standardization) is equivalent to the from-scratch rebuild:
+    /// same predictions, same variances, same marginal likelihood,
+    /// to 1e-8, across random datasets, update batches and families.
+    #[test]
+    fn condition_equals_rebuild((xs, ys) in dataset_strategy(),
+                                new_ys in proptest::collection::vec(-1.0f64..1.0, 1..4),
+                                q in -0.25f64..1.25) {
+        for family in [KernelType::Rbf, KernelType::Matern32, KernelType::Matern52] {
+            let m = model(xs.clone(), ys.clone(), family);
+            // New inputs interleave with (but do not duplicate) training inputs.
+            let new_xs: Vec<Vec<f64>> = (0..new_ys.len())
+                .map(|i| vec![(i as f64 + 0.37) / new_ys.len() as f64])
+                .collect();
+            let fast = m.condition(&new_xs, &new_ys).expect("condition");
+            let slow = m.with_added(&new_xs, &new_ys).expect("rebuild");
+            let (mf, vf) = fast.predict(&[q]);
+            let (ms, vs) = slow.predict(&[q]);
+            prop_assert!((mf - ms).abs() < 1e-8, "{family:?}: mean {mf} vs {ms}");
+            prop_assert!((vf - vs).abs() < 1e-8, "{family:?}: var {vf} vs {vs}");
+            prop_assert!(
+                (fast.log_marginal_likelihood() - slow.log_marginal_likelihood()).abs() < 1e-8);
+            prop_assert_eq!(fast.observation_noise(), slow.observation_noise());
+        }
+    }
+
+    /// Conditioning one observation at a time agrees with conditioning
+    /// the whole batch at once.
+    #[test]
+    fn condition_is_batch_associative((xs, ys) in dataset_strategy()) {
+        let m = model(xs, ys, KernelType::Matern52);
+        let new_xs = vec![vec![0.21], vec![0.77]];
+        let new_ys = vec![0.4, -0.6];
+        let batch = m.condition(&new_xs, &new_ys).expect("batch");
+        let seq = m
+            .condition(&new_xs[..1], &new_ys[..1]).expect("step 1")
+            .condition(&new_xs[1..], &new_ys[1..]).expect("step 2");
+        for q in [0.05f64, 0.5, 0.95] {
+            let (mb, vb) = batch.predict(&[q]);
+            let (ms, vs) = seq.predict(&[q]);
+            prop_assert!((mb - ms).abs() < 1e-8);
+            prop_assert!((vb - vs).abs() < 1e-8);
+        }
+    }
+
     /// The joint posterior diagonal equals pointwise predictions.
     #[test]
     fn joint_matches_marginals((xs, ys) in dataset_strategy()) {

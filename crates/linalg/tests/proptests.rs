@@ -63,6 +63,48 @@ proptest! {
         prop_assert!((det.ln() - log_det).abs() < 1e-6);
     }
 
+    /// Incremental `extend` of a leading-block factor matches a
+    /// from-scratch `decompose` of the concatenated matrix: same factor,
+    /// same log-determinant, same solves.
+    #[test]
+    fn cholesky_extend_equals_full_decompose(a in spd_strategy(7),
+                                             n_lead in 1usize..7,
+                                             b in proptest::collection::vec(-1.0f64..1.0, 7)) {
+        let lead = Mat::from_fn(n_lead, n_lead, |i, j| a[(i, j)]);
+        let k = a.rows() - n_lead;
+        let cross = Mat::from_fn(n_lead, k, |i, j| a[(i, n_lead + j)]);
+        let corner = Mat::from_fn(k, k, |i, j| a[(n_lead + i, n_lead + j)]);
+
+        let ext = Cholesky::decompose(&lead).unwrap().extend(&cross, &corner).unwrap();
+        let full = Cholesky::decompose(&a).unwrap();
+
+        prop_assert!(ext.l().max_abs_diff(full.l()) < 1e-8,
+            "factor mismatch at n_lead={n_lead}");
+        prop_assert!((ext.log_det() - full.log_det()).abs() < 1e-8);
+        let x_ext = ext.solve(&b).unwrap();
+        let x_full = full.solve(&b).unwrap();
+        prop_assert!(vecops::l1_dist(&x_ext, &x_full) < 1e-8);
+    }
+
+    /// Extending one row at a time agrees with extending all rows at
+    /// once (the factor is unique for PD matrices).
+    #[test]
+    fn cholesky_extend_is_associative(a in spd_strategy(6)) {
+        let lead = Mat::from_fn(4, 4, |i, j| a[(i, j)]);
+        let cross = Mat::from_fn(4, 2, |i, j| a[(i, 4 + j)]);
+        let corner = Mat::from_fn(2, 2, |i, j| a[(4 + i, 4 + j)]);
+        let both = Cholesky::decompose(&lead).unwrap().extend(&cross, &corner).unwrap();
+
+        let cross1 = Mat::from_fn(4, 1, |i, _| a[(i, 4)]);
+        let corner1 = Mat::from_fn(1, 1, |_, _| a[(4, 4)]);
+        let step1 = Cholesky::decompose(&lead).unwrap().extend(&cross1, &corner1).unwrap();
+        let cross2 = Mat::from_fn(5, 1, |i, _| a[(i, 5)]);
+        let corner2 = Mat::from_fn(1, 1, |_, _| a[(5, 5)]);
+        let step2 = step1.extend(&cross2, &corner2).unwrap();
+
+        prop_assert!(step2.l().max_abs_diff(both.l()) < 1e-8);
+    }
+
     #[test]
     fn matmul_associative_with_vector(a in mat_strategy(4, 3),
                                       b in mat_strategy(3, 5),
