@@ -1,0 +1,58 @@
+//! Algorithm-1 placement at scale: dense Hungarian vs sparse auction.
+//!
+//! Benches the full group→server assignment (grouping included) on
+//! workloads of M ∈ {10, 100, 500, 2000} cameras with N = max(2, M/10)
+//! servers — the shapes `fig7_scale` charts end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eva_obs::NoopRecorder;
+use eva_sched::{assign_groups_with_strategy_recorded, AssignStrategy, StreamTiming};
+use eva_stats::rng::seeded;
+use eva_workload::{Scenario, VideoConfig};
+
+/// A frugal uniform workload that stays zero-jitter schedulable at
+/// 10 cameras per server.
+fn workload(m: usize) -> (Vec<StreamTiming>, Vec<f64>, Vec<f64>) {
+    let n = (m / 10).max(2);
+    let sc = Scenario::standard(m, n, &mut seeded(m as u64));
+    let configs = vec![VideoConfig::new(480.0, 5.0); m];
+    let timings = sc.stream_timings(&configs);
+    let bits: Vec<f64> = (0..m)
+        .map(|i| sc.surfaces(i).bits_per_frame(configs[i].resolution))
+        .collect();
+    (timings, bits, sc.planning_uplinks().to_vec())
+}
+
+fn bench_assign_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assign_scale");
+    group.sample_size(10);
+    for m in [10usize, 100, 500, 2000] {
+        let (timings, bits, uplinks) = workload(m);
+        for (label, strategy) in [
+            ("hungarian", AssignStrategy::Hungarian),
+            ("auction_k8", AssignStrategy::Auction { top_k: 8 }),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, m),
+                &(&timings, &bits, &uplinks),
+                |bench, (timings, bits, uplinks)| {
+                    bench.iter(|| {
+                        assign_groups_with_strategy_recorded(
+                            std::hint::black_box(timings),
+                            bits,
+                            uplinks,
+                            None,
+                            strategy,
+                            &NoopRecorder,
+                        )
+                        .expect("frugal workload schedulable")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assign_scale);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! workloads with telemetry on and emits per-phase wall-clock
 //! breakdowns as `BENCH_perf.json`.
 //!
-//! The suite pins the five code paths the scheduler spends its time in:
+//! The suite pins the six code paths the scheduler spends its time in:
 //!
 //! * `online_3x2_learned` — the full PaMO pipeline (profiling + GP fit,
 //!   preference elicitation, qNEI search, Algorithm-1 placement) on a
@@ -15,7 +15,10 @@
 //!   whose streams share server uplinks,
 //! * `serve_churn` — the continuous-serving loop under a Poisson
 //!   arrival storm with server crashes (admission probes, incremental
-//!   replans), tracking replan reaction latency.
+//!   replans), tracking replan reaction latency,
+//! * `scale_m2000` — one oracle decision epoch at fleet scale (2000
+//!   cameras × 200 servers; quick: 240 × 24), pinning the sharded
+//!   grouping, sparse auction assignment and batched posterior paths.
 //!
 //! Each workload runs under its own [`eva_obs::FlightRecorder`]; the
 //! per-phase histograms, counters and wall-clock totals land in one
@@ -204,6 +207,26 @@ fn run_workload(name: &str, quick: bool, rec: &FlightRecorder) -> String {
                 run.benefit_per_server()
             )
         }
+        "scale_m2000" => {
+            // One decision epoch at fleet scale: 2000 cameras on 200
+            // servers (quick: 240 on 24), oracle preference. Exercises
+            // sharded grouping, sparse auction assignment, the shared
+            // profiling design, and the batched posterior path.
+            let (m, n) = if quick { (240, 24) } else { (2000, 200) };
+            let sc = Scenario::standard(m, n, &mut seeded(106));
+            let pref = pamo_core::TruePreference::uniform(&sc);
+            let mut cfg = pamo_config(quick, PreferenceSource::Oracle);
+            cfg.pool_size = 12;
+            let pamo = pamo_core::Pamo::new(cfg);
+            let d = pamo
+                .decide_surviving_recorded(&sc, &pref, None, &mut seeded(15), rec)
+                .expect("scale decision epoch succeeds");
+            format!(
+                "{m} cams x {n} servers, oracle preference, 1 epoch, \
+                 benefit {:.4}",
+                d.true_benefit
+            )
+        }
         other => unreachable!("unknown workload {other}"),
     }
 }
@@ -279,6 +302,7 @@ fn main() {
         "faulted_3x2",
         "des_shared_uplink",
         "serve_churn",
+        "scale_m2000",
     ];
     println!(
         "== perf baseline: {} suite ==",

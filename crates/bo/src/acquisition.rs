@@ -116,6 +116,75 @@ impl AcqKind {
         }
     }
 
+    /// [`AcqKind::score`] on a single joint sample matrix whose first
+    /// `q` columns are the candidates and whose remaining columns (if
+    /// any) are the baselines — the layout [`crate::bo_maximize`]'s
+    /// candidate scan produces. Avoids materializing the two slices as
+    /// separate matrices: row maxima are taken over column ranges in
+    /// place, which removes two `n_mc × cols` allocations per candidate
+    /// per batch slot.
+    pub fn score_split(&self, samples: &Mat, q: usize, incumbent: Option<f64>) -> f64 {
+        let n_mc = samples.rows();
+        assert!(n_mc > 0 && q > 0 && q <= samples.cols(), "bad split shape");
+        match self {
+            AcqKind::QNei => {
+                if samples.cols() == q {
+                    return f64::NEG_INFINITY; // no baseline columns
+                }
+                let mut total = 0.0;
+                for s in 0..n_mc {
+                    let row = samples.row(s);
+                    let best_cand = range_max(row, 0, q);
+                    let best_base = range_max(row, q, samples.cols());
+                    total += (best_cand - best_base).max(0.0);
+                }
+                total / n_mc as f64
+            }
+            AcqKind::QEi => {
+                let Some(z_star) = incumbent else {
+                    return f64::NEG_INFINITY;
+                };
+                let mut total = 0.0;
+                for s in 0..n_mc {
+                    total += (range_max(samples.row(s), 0, q) - z_star).max(0.0);
+                }
+                total / n_mc as f64
+            }
+            AcqKind::QUcb { beta } => {
+                assert!(*beta >= 0.0, "qUCB: negative beta");
+                let mut means = vec![0.0; q];
+                for s in 0..n_mc {
+                    let row = samples.row(s);
+                    for (j, m) in means.iter_mut().enumerate() {
+                        *m += row[j];
+                    }
+                }
+                for m in &mut means {
+                    *m /= n_mc as f64;
+                }
+                let scale = (beta * std::f64::consts::PI / 2.0).sqrt();
+                let mut total = 0.0;
+                for s in 0..n_mc {
+                    let row = samples.row(s);
+                    let mut best = f64::NEG_INFINITY;
+                    for j in 0..q {
+                        let v = means[j] + scale * (row[j] - means[j]).abs();
+                        best = best.max(v);
+                    }
+                    total += best;
+                }
+                total / n_mc as f64
+            }
+            AcqKind::QSr => {
+                let mut total = 0.0;
+                for s in 0..n_mc {
+                    total += range_max(samples.row(s), 0, q);
+                }
+                total / n_mc as f64
+            }
+        }
+    }
+
     /// Whether this acquisition needs baseline samples.
     pub fn needs_baseline(&self) -> bool {
         matches!(self, AcqKind::QNei)
@@ -130,6 +199,14 @@ impl AcqKind {
 #[inline]
 fn row_max(m: &Mat, row: usize) -> f64 {
     m.row(row).iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[inline]
+fn range_max(row: &[f64], from: usize, to: usize) -> f64 {
+    row[from..to]
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
 }
 
 #[cfg(test)]
@@ -207,6 +284,32 @@ mod tests {
         // mean sample value is 1.0 -> deterministic EI = 0.
         assert!(mc >= 0.0);
         assert!((mc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_split_matches_score_on_all_kinds() {
+        // A concatenated matrix: 2 candidate columns + 3 baseline
+        // columns, with varied values across 4 MC rows.
+        let joint = Mat::from_fn(4, 5, |r, c| ((r * 5 + c) as f64 * 0.73).sin() * 2.0);
+        let q = 2;
+        let cand = Mat::from_fn(4, q, |r, c| joint[(r, c)]);
+        let base = Mat::from_fn(4, 3, |r, c| joint[(r, q + c)]);
+        for kind in [
+            AcqKind::QNei,
+            AcqKind::QEi,
+            AcqKind::QUcb { beta: 2.0 },
+            AcqKind::QSr,
+        ] {
+            let split = kind.score_split(&joint, q, Some(0.3));
+            let two = kind.score(&cand, Some(&base), Some(0.3));
+            assert_eq!(split.to_bits(), two.to_bits(), "{kind:?}");
+        }
+        // qNEI without baseline columns is an unattractive batch.
+        let only_cands = Mat::from_fn(4, q, |r, c| joint[(r, c)]);
+        assert_eq!(
+            AcqKind::QNei.score_split(&only_cands, q, None),
+            f64::NEG_INFINITY
+        );
     }
 
     // Misuse (missing baseline/incumbent) scores as NEG_INFINITY — an

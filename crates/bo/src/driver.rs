@@ -12,7 +12,6 @@
 //! extension) over a from-scratch refit — the fast path is
 //! property-tested equivalent to the rebuild.
 
-use eva_linalg::Mat;
 use rand::Rng;
 use rayon::prelude::*;
 
@@ -104,34 +103,49 @@ where
 
     for _iter in 0..cfg.max_iters {
         let surrogate = fit(&observations);
-        let baseline_xs: Vec<Vec<f64>> = observations.iter().map(|(x, _)| x.clone()).collect();
         let incumbent = best_of(&observations).1;
         let crn_seed: u64 = rng.gen();
 
+        // The shared point set of this iteration's candidate scans:
+        // pool first, then (for baseline-hungry acquisitions) the
+        // observed points. Built once; the scan below addresses it by
+        // index, so the surrogate can prepare one batched posterior
+        // over everything instead of one per candidate.
+        let mut pts: Vec<Vec<f64>> = Vec::with_capacity(
+            pool.len()
+                + if cfg.kind.needs_baseline() {
+                    observations.len()
+                } else {
+                    0
+                },
+        );
+        pts.extend(pool.iter().cloned());
+        let base_start = pts.len();
+        if cfg.kind.needs_baseline() {
+            pts.extend(observations.iter().map(|(x, _)| x.clone()));
+        }
+        let baseline_idx: Vec<usize> = (base_start..pts.len()).collect();
+        surrogate.prepare(&pts, cfg.mc_samples, crn_seed);
+
         // (2) Greedy sequential batch construction.
-        let mut selected: Vec<Vec<f64>> = Vec::with_capacity(cfg.batch);
+        let mut selected_idx: Vec<usize> = Vec::with_capacity(cfg.batch);
         for _slot in 0..cfg.batch {
-            let scores: Vec<f64> = pool
+            let scores: Vec<f64> = (0..pool.len())
+                .collect::<Vec<_>>()
                 .par_iter()
-                .map(|cand| {
-                    if selected.iter().any(|s| s == cand) {
+                .map(|&ci| {
+                    if selected_idx.iter().any(|&s| pool[s] == pool[ci]) {
                         return f64::NEG_INFINITY; // no duplicates within a batch
                     }
-                    let mut query: Vec<Vec<f64>> = selected.clone();
-                    query.push(cand.clone());
-                    let q = query.len();
-                    if cfg.kind.needs_baseline() {
-                        query.extend(baseline_xs.iter().cloned());
-                    }
-                    let samples = surrogate.joint_samples(&query, cfg.mc_samples, crn_seed);
-                    let cand_samples = slice_cols(&samples, 0, q);
-                    let baseline = if cfg.kind.needs_baseline() {
-                        Some(slice_cols(&samples, q, samples.cols()))
-                    } else {
-                        None
-                    };
-                    cfg.kind
-                        .score(&cand_samples, baseline.as_ref(), Some(incumbent))
+                    let mut idx: Vec<usize> =
+                        Vec::with_capacity(selected_idx.len() + 1 + baseline_idx.len());
+                    idx.extend_from_slice(&selected_idx);
+                    idx.push(ci);
+                    let q = idx.len();
+                    idx.extend_from_slice(&baseline_idx);
+                    let samples =
+                        surrogate.joint_samples_indexed(&pts, &idx, cfg.mc_samples, crn_seed);
+                    cfg.kind.score_split(&samples, q, Some(incumbent))
                 })
                 .collect();
             let Some(best_idx) = eva_linalg::vecops::argmax(&scores) else {
@@ -140,8 +154,9 @@ where
             if scores[best_idx] == f64::NEG_INFINITY {
                 break; // pool exhausted (batch >= pool size)
             }
-            selected.push(pool[best_idx].clone());
+            selected_idx.push(best_idx);
         }
+        let selected: Vec<Vec<f64>> = selected_idx.iter().map(|&i| pool[i].clone()).collect();
 
         // (3) Observe the batch (Algorithm 2 line 16).
         let mut z_best_batch = f64::NEG_INFINITY;
@@ -180,10 +195,6 @@ fn best_of(observations: &[(Vec<f64>, f64)]) -> (Vec<f64>, f64) {
         }
     }
     (best.0.clone(), best.1)
-}
-
-fn slice_cols(m: &Mat, from: usize, to: usize) -> Mat {
-    Mat::from_fn(m.rows(), to - from, |r, c| m[(r, from + c)])
 }
 
 #[cfg(test)]

@@ -15,17 +15,19 @@
 //! approximated as independence. BoTorch's qNEI makes the analogous
 //! MC-with-CRN trade, just with full joint GP sampling.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use eva_bo::SurrogateSampler;
 use eva_linalg::Mat;
 use eva_prefgp::PreferenceModel;
-use eva_stats::rng::{child_seed, standard_normal_vec};
+use eva_stats::rng::{child_seed, standard_normal, standard_normal_vec};
 use eva_workload::outcome::idx;
+use eva_workload::profiler::features_of;
 use eva_workload::{Outcome, Scenario, N_OBJECTIVES};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 use crate::benefit::{OutcomeNormalizer, TruePreference};
 use crate::models::OutcomeModelBank;
@@ -35,6 +37,12 @@ use crate::pool::decode_joint;
 /// Far below any reachable utility on either the learned (GP-prior
 /// scale ~1) or oracle (≥ −Σw) benefit scale.
 pub const INFEASIBLE_BENEFIT: f64 = -1.0e3;
+
+/// GP posterior `(mean, sd)` for `(camera, objective, config, uplink,
+/// part)`; `part` is the split part's index within the assignment, used
+/// only by the batched latency lookup.
+type PredictFn<'p> =
+    dyn Fn(usize, usize, &eva_workload::VideoConfig, f64, usize) -> (f64, f64) + 'p;
 
 /// The preference layer: learned GP or the oracle truth (PaMO+).
 #[derive(Clone)]
@@ -95,14 +103,14 @@ impl<'a> CompositeSampler<'a> {
         let assignment = self.scenario.schedule(&configs).ok()?;
         let m = self.scenario.n_videos() as f64;
 
+        let uplinks = self.uplink_map(&assignment);
         let mut acc = 0.0;
         let mut net = 0.0;
         let mut com = 0.0;
         let mut eng = 0.0;
         #[allow(clippy::needless_range_loop)]
         for cam in 0..self.scenario.n_videos() {
-            let uplink = self.camera_uplink(&assignment, cam);
-            let o = self.bank.predict(cam, &configs[cam], uplink);
+            let o = self.bank.predict(cam, &configs[cam], uplinks[cam]);
             acc += o.accuracy;
             net += o.network_bps;
             com += o.compute_tflops;
@@ -128,13 +136,21 @@ impl<'a> CompositeSampler<'a> {
         })
     }
 
-    fn camera_uplink(&self, assignment: &eva_sched::Assignment, cam: usize) -> f64 {
-        assignment
-            .streams
-            .iter()
-            .position(|s| s.id.source == cam)
-            .map(|i| self.scenario.planning_uplinks()[assignment.server_of[i]])
-            .unwrap_or_else(|| self.scenario.planning_uplinks()[0])
+    /// Planning uplink seen by each camera under an assignment: the
+    /// server hosting the camera's first split part, falling back to
+    /// server 0 for cameras absent from the assignment. One pass over
+    /// the streams — the per-camera `position()` scan this replaces was
+    /// O(M²) per evaluated point.
+    fn uplink_map(&self, assignment: &eva_sched::Assignment) -> Vec<f64> {
+        let ups = self.scenario.planning_uplinks();
+        let mut map: Vec<Option<f64>> = vec![None; self.scenario.n_videos()];
+        for (i, st) in assignment.streams.iter().enumerate() {
+            let slot = &mut map[st.id.source];
+            if slot.is_none() {
+                *slot = Some(ups[assignment.server_of[i]]);
+            }
+        }
+        map.into_iter().map(|u| u.unwrap_or(ups[0])).collect()
     }
 
     /// Benefit samples at one joint-config point.
@@ -154,6 +170,42 @@ impl<'a> CompositeSampler<'a> {
             Ok(a) => a,
             Err(_) => return vec![INFEASIBLE_BENEFIT; n_mc],
         };
+        let uplinks = self.uplink_map(&assignment);
+        self.assemble_point_samples(
+            x,
+            &configs,
+            &assignment,
+            &uplinks,
+            n_mc,
+            seed,
+            &|cam, obj, cfg, uplink, _part| self.bank.predict_objective(cam, obj, cfg, uplink),
+        )
+    }
+
+    /// The common sample-assembly path: aggregate per-(camera,
+    /// objective) marginal draws under content-hash CRN, push through
+    /// the preference layer. `predict` supplies the GP posterior for
+    /// each (camera, objective, config, uplink) — either the scalar
+    /// bank call or a lookup into batched results (`part` is the split
+    /// part's index within the assignment, used only by the batched
+    /// latency lookup); both are bit-identical, so cached and uncached
+    /// points agree exactly.
+    ///
+    /// CRN draws are generated inline (one cheap xoshiro stream per
+    /// sub-key) rather than materialized as vectors — at M = 2000 a
+    /// single point needs ~10k streams and the intermediate `Vec`s were
+    /// measurable allocator churn.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_point_samples(
+        &self,
+        x: &[f64],
+        configs: &[eva_workload::VideoConfig],
+        assignment: &eva_sched::Assignment,
+        uplinks: &[f64],
+        n_mc: usize,
+        seed: u64,
+        predict: &PredictFn<'_>,
+    ) -> Vec<f64> {
         let m = self.scenario.n_videos();
 
         // Per-(camera, objective) marginal draws with content-hash CRN.
@@ -161,19 +213,19 @@ impl<'a> CompositeSampler<'a> {
         let mut agg = vec![[0.0f64; N_OBJECTIVES]; n_mc];
         #[allow(clippy::needless_range_loop)]
         for cam in 0..m {
-            let uplink = self.camera_uplink(&assignment, cam);
+            let uplink = uplinks[cam];
             for obj in [idx::ACCURACY, idx::NETWORK, idx::COMPUTATION, idx::ENERGY] {
-                let (mu, var) = self.bank.predict_objective(cam, obj, &configs[cam], uplink);
+                let (mu, var) = predict(cam, obj, &configs[cam], uplink, 0);
                 let sd = var.max(0.0).sqrt();
-                let draws = crn_draws(seed, sub_key(cam, obj, &configs[cam], uplink), n_mc);
-                for (row, z) in draws.iter().enumerate() {
-                    let mut v = mu + sd * z;
+                let mut rng = crn_stream(seed, sub_key(cam, obj, &configs[cam], uplink));
+                for row in agg.iter_mut() {
+                    let mut v = mu + sd * standard_normal(&mut rng);
                     if obj == idx::ACCURACY {
                         v = v.clamp(0.0, 1.0);
                     } else {
                         v = v.max(0.0);
                     }
-                    agg[row][obj] += v;
+                    row[obj] += v;
                 }
             }
         }
@@ -182,17 +234,15 @@ impl<'a> CompositeSampler<'a> {
         for (i, st) in assignment.streams.iter().enumerate() {
             let cam = st.id.source;
             let uplink = self.scenario.planning_uplinks()[assignment.server_of[i]];
-            let (mu, var) = self
-                .bank
-                .predict_objective(cam, idx::LATENCY, &configs[cam], uplink);
+            let (mu, var) = predict(cam, idx::LATENCY, &configs[cam], uplink, i);
             let sd = var.max(0.0).sqrt();
-            let draws = crn_draws(
+            let mut rng = crn_stream(
                 seed,
                 sub_key(cam, idx::LATENCY, &configs[cam], uplink) ^ (i as u64) << 32,
-                n_mc,
             );
-            for (row, z) in draws.iter().enumerate() {
-                agg[row][idx::LATENCY] += (mu + sd * z).max(0.0) / n_parts as f64;
+            for row in agg.iter_mut() {
+                row[idx::LATENCY] +=
+                    (mu + sd * standard_normal(&mut rng)).max(0.0) / n_parts as f64;
             }
         }
 
@@ -234,12 +284,168 @@ impl SurrogateSampler for CompositeSampler<'_> {
             None => INFEASIBLE_BENEFIT,
         }
     }
+
+    /// Batch-fill the sample cache for a whole candidate set: evaluate
+    /// each (camera, objective) model once over the queries all
+    /// uncached feasible points make against it
+    /// ([`OutcomeModelBank::predict_objective_many`] shares a single
+    /// cross-kernel matrix per model), then assemble samples per point
+    /// from the batched posteriors. Query positions are pure indices —
+    /// aggregate objectives query exactly once per (point, camera), and
+    /// latency once per (point, split part) — so no hashing or dedup
+    /// bookkeeping sits on the hot path. Bit-identical to the per-point
+    /// path, so the driver's subsequent indexed calls are pure cache
+    /// hits.
+    fn prepare(&self, xs: &[Vec<f64>], n_mc: usize, seed: u64) {
+        // Uncached points, deduped by content hash.
+        let mut todo: Vec<(u64, &Vec<f64>)> = Vec::new();
+        {
+            let cache = self.cache.lock();
+            let mut seen = HashSet::new();
+            for x in xs {
+                let h = hash_bits(x);
+                if !cache.contains_key(&(h, seed, n_mc)) && seen.insert(h) {
+                    todo.push((h, x));
+                }
+            }
+        }
+        if todo.len() < 2 {
+            return; // nothing worth batching — the per-point path covers it
+        }
+
+        struct Feasible<'p> {
+            hash: u64,
+            x: &'p [f64],
+            configs: Vec<eva_workload::VideoConfig>,
+            assignment: eva_sched::Assignment,
+            uplinks: Vec<f64>,
+        }
+        let mut feasible: Vec<Feasible> = Vec::new();
+        let mut settled: Vec<((u64, u64, usize), Vec<f64>)> = Vec::new();
+        for (hash, x) in todo {
+            let configs = decode_joint(self.scenario, x);
+            match self.scenario.schedule(&configs) {
+                Ok(assignment) => {
+                    let uplinks = self.uplink_map(&assignment);
+                    feasible.push(Feasible {
+                        hash,
+                        x,
+                        configs,
+                        assignment,
+                        uplinks,
+                    });
+                }
+                Err(_) => settled.push(((hash, seed, n_mc), vec![INFEASIBLE_BENEFIT; n_mc])),
+            }
+        }
+
+        const AGG_OBJS: [usize; 4] = [idx::ACCURACY, idx::NETWORK, idx::COMPUTATION, idx::ENERGY];
+        let mut agg_slot = [usize::MAX; N_OBJECTIVES];
+        for (k, &obj) in AGG_OBJS.iter().enumerate() {
+            agg_slot[obj] = k;
+        }
+        let n_videos = self.scenario.n_videos();
+        let planning = self.scenario.planning_uplinks();
+
+        // Aggregate objectives: point `p` queries camera `cam` at
+        // `(configs[cam], uplinks[cam])`, so the batch for each model is
+        // simply the points in order — `agg_post[cam * 4 + slot][p]`.
+        // Cameras are independent (pure posterior reads), so the
+        // batches run in parallel; ordered collect keeps the layout.
+        let agg_post: Vec<Vec<(f64, f64)>> = (0..n_videos)
+            .into_par_iter()
+            .flat_map(|cam| {
+                // One feature build per camera, shared by all four
+                // objective batches (the GPs agree on the feature map).
+                let xs: Vec<Vec<f64>> = feasible
+                    .iter()
+                    .map(|f| features_of(&f.configs[cam], f.uplinks[cam]))
+                    .collect();
+                AGG_OBJS
+                    .iter()
+                    .map(|&obj| self.bank.model(cam, obj).predict_many(&xs))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        // Latency: one query per (point, split part), batched per
+        // camera; `lat_slot[p][part]` is the part's position in its
+        // camera's batch.
+        let mut lat_queries: Vec<Vec<(eva_workload::VideoConfig, f64)>> =
+            vec![Vec::new(); n_videos];
+        let mut lat_slot: Vec<Vec<usize>> = Vec::with_capacity(feasible.len());
+        for f in &feasible {
+            let mut slots = Vec::with_capacity(f.assignment.streams.len());
+            for (i, st) in f.assignment.streams.iter().enumerate() {
+                let cam = st.id.source;
+                let batch = &mut lat_queries[cam];
+                slots.push(batch.len());
+                batch.push((f.configs[cam], planning[f.assignment.server_of[i]]));
+            }
+            lat_slot.push(slots);
+        }
+        let lat_post: Vec<Vec<(f64, f64)>> = lat_queries
+            .par_iter()
+            .enumerate()
+            .map(|(cam, batch)| {
+                if batch.is_empty() {
+                    Vec::new()
+                } else {
+                    self.bank.predict_objective_many(cam, idx::LATENCY, batch)
+                }
+            })
+            .collect();
+
+        // Points are independent too: every CRN stream is seeded by its
+        // own (seed, sub-key) pair and accumulation stays sequential
+        // *within* a point, so the samples are bit-identical to the
+        // sequential per-point loop.
+        let assembled: Vec<((u64, u64, usize), Vec<f64>)> = feasible
+            .par_iter()
+            .enumerate()
+            .map(|(p, f)| {
+                let slots = &lat_slot[p];
+                let predict = |cam: usize,
+                               obj: usize,
+                               _cfg: &eva_workload::VideoConfig,
+                               _uplink: f64,
+                               part: usize|
+                 -> (f64, f64) {
+                    if obj == idx::LATENCY {
+                        lat_post[cam][slots[part]]
+                    } else {
+                        agg_post[cam * AGG_OBJS.len() + agg_slot[obj]][p]
+                    }
+                };
+                let samples = self.assemble_point_samples(
+                    f.x,
+                    &f.configs,
+                    &f.assignment,
+                    &f.uplinks,
+                    n_mc,
+                    seed,
+                    &predict,
+                );
+                ((f.hash, seed, n_mc), samples)
+            })
+            .collect();
+        settled.extend(assembled);
+
+        let mut cache = self.cache.lock();
+        for (key, samples) in settled {
+            cache.insert(key, samples);
+        }
+    }
+}
+
+/// Deterministic generator for one sub-point's CRN stream.
+fn crn_stream(seed: u64, key: u64) -> StdRng {
+    StdRng::seed_from_u64(child_seed(seed, key))
 }
 
 /// Deterministic per-sub-point standard-normal draws (the CRN streams).
 fn crn_draws(seed: u64, key: u64, n: usize) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(child_seed(seed, key));
-    standard_normal_vec(&mut rng, n)
+    standard_normal_vec(&mut crn_stream(seed, key), n)
 }
 
 fn sub_key(cam: usize, obj: usize, config: &eva_workload::VideoConfig, uplink: f64) -> u64 {
@@ -325,6 +531,48 @@ mod tests {
         let mu_e = sampler.posterior_mean(&extreme);
         // Surrogate ordering matches the truth ordering.
         assert_eq!(mu_b > mu_e, tb > te, "b: {mu_b}/{tb}, e: {mu_e}/{te}");
+    }
+
+    #[test]
+    fn prepared_batch_is_bit_identical_to_per_point_path() {
+        let (sc, bank, pref) = setup();
+        let normalizer = OutcomeNormalizer::for_scenario(&sc);
+        let fast = CompositeSampler::new(
+            &sc,
+            bank.clone(),
+            PreferenceEval::Oracle(pref.clone()),
+            normalizer.clone(),
+        );
+        let slow = CompositeSampler::new(&sc, bank, PreferenceEval::Oracle(pref), normalizer);
+        // A mixed pool: distinct feasible points, one duplicate, one
+        // infeasible point.
+        let xs = vec![
+            encode_joint(&sc, &[VideoConfig::new(600.0, 5.0); 3]),
+            encode_joint(&sc, &[VideoConfig::new(900.0, 10.0); 3]),
+            encode_joint(&sc, &[VideoConfig::new(600.0, 5.0); 3]),
+            encode_joint(&sc, &[VideoConfig::new(2160.0, 30.0); 3]),
+            encode_joint(&sc, &[VideoConfig::new(1440.0, 20.0); 3]),
+        ];
+        fast.prepare(&xs, 12, 77);
+        let a = fast.joint_samples(&xs, 12, 77);
+        let b = slow.joint_samples(&xs, 12, 77);
+        for r in 0..12 {
+            for c in 0..xs.len() {
+                assert_eq!(
+                    a[(r, c)].to_bits(),
+                    b[(r, c)].to_bits(),
+                    "mismatch at ({r},{c})"
+                );
+            }
+        }
+        // Indexed access through the default trait path agrees too.
+        use eva_bo::SurrogateSampler as _;
+        let sub = fast.joint_samples_indexed(&xs, &[4, 0, 3], 12, 77);
+        for r in 0..12 {
+            assert_eq!(sub[(r, 0)].to_bits(), b[(r, 4)].to_bits());
+            assert_eq!(sub[(r, 1)].to_bits(), b[(r, 0)].to_bits());
+            assert_eq!(sub[(r, 2)].to_bits(), b[(r, 3)].to_bits());
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub use benefit::{normalized_benefit, OutcomeNormalizer, TruePreference};
 pub use composite::{CompositeSampler, PreferenceEval};
 pub use error::CoreError;
 pub use faulted::{run_online_faulted, run_online_faulted_recorded, FaultedRunConfig};
-pub use models::OutcomeModelBank;
+pub use models::{OutcomeModelBank, ProfilingDesign};
 pub use online::{
     run_online, run_online_estimated, run_online_estimated_recorded, run_online_recorded,
     EpochRecord, OnlineRun,

@@ -12,6 +12,8 @@
 //! camera's data and reused — data (not hypers) stays per-camera. This
 //! cuts fitting cost by ~M× without hurting accuracy.
 
+use std::sync::Arc;
+
 use eva_gp::{fit_gp_recorded, theta_of, FitConfig, GpModel};
 use eva_obs::{span, NoopRecorder, Phase, Recorder};
 use eva_workload::profiler::features_of;
@@ -24,11 +26,62 @@ use crate::error::CoreError;
 /// Minimum profiling samples per camera the initial GP fits need.
 const MIN_PROFILING_SAMPLES: usize = 4;
 
+/// A profiling design: the (config, uplink) grid points every camera
+/// measures. Sharing one design across cameras makes the GP inputs `X`
+/// identical bank-wide, so one kernel matrix / Cholesky factor per
+/// objective serves all M cameras ([`GpModel::with_targets`]) — and a
+/// cached design can be re-measured across epochs without re-drawing.
+#[derive(Debug, Clone)]
+pub struct ProfilingDesign {
+    /// Configurations to profile, one per sample.
+    pub configs: Vec<VideoConfig>,
+    /// Uplink bandwidth (bits/s) paired with each config.
+    pub uplinks: Vec<f64>,
+}
+
+impl ProfilingDesign {
+    /// Draw a design of `samples_per_camera` points: configs uniform
+    /// over the scenario's config space, uplinks uniform over its
+    /// server pool (so the latency GP sees bandwidth variation).
+    pub fn draw<R: Rng + ?Sized>(
+        scenario: &Scenario,
+        samples_per_camera: usize,
+        rng: &mut R,
+    ) -> Self {
+        let space = scenario.config_space();
+        let mut configs = Vec::with_capacity(samples_per_camera);
+        let mut uplinks = Vec::with_capacity(samples_per_camera);
+        for _ in 0..samples_per_camera {
+            configs.push(space.at(rng.gen_range(0..space.len())));
+            uplinks.push(scenario.uplinks()[rng.gen_range(0..scenario.n_servers())]);
+        }
+        ProfilingDesign { configs, uplinks }
+    }
+
+    /// Number of profiling points per camera.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the design is empty.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+}
+
 /// GPs for all cameras and objectives.
+///
+/// Camera rows sit behind `Arc`, so cloning the bank is `M` refcount
+/// bumps rather than a deep copy of 5·M GP models — the BO loop clones
+/// the bank into a fresh surrogate every iteration, and at M = 2000 the
+/// deep copy (~300k allocations) dominated the decision epoch.
+/// [`OutcomeModelBank::update`] replaces a camera's row wholesale
+/// (copy-on-write), so clones held by in-flight surrogates are
+/// unaffected.
 #[derive(Debug, Clone)]
 pub struct OutcomeModelBank {
     /// `models[camera][objective]`.
-    models: Vec<Vec<GpModel>>,
+    models: Vec<Arc<Vec<GpModel>>>,
 }
 
 impl OutcomeModelBank {
@@ -86,22 +139,46 @@ impl OutcomeModelBank {
                 got: samples_per_camera,
             });
         }
+        let design = ProfilingDesign::draw(scenario, samples_per_camera, rng);
+        Self::fit_initial_designed_recorded(scenario, &design, rel_noise, warm, rng, rec)
+    }
+
+    /// [`OutcomeModelBank::fit_initial_warm_recorded`] on an explicit
+    /// profiling design. All cameras measure the *same* (config, uplink)
+    /// points, so the GP inputs `X` are identical bank-wide: camera 0
+    /// fits hyperparameters per objective (one O(n³) Cholesky each) and
+    /// every later camera reuses that factor through
+    /// [`GpModel::with_targets`] (O(n²) per model). Callers that cache
+    /// the design across epochs also skip re-drawing it.
+    pub fn fit_initial_designed_recorded<R: Rng + ?Sized>(
+        scenario: &Scenario,
+        design: &ProfilingDesign,
+        rel_noise: f64,
+        warm: Option<&[Vec<f64>]>,
+        rng: &mut R,
+        rec: &dyn Recorder,
+    ) -> Result<Self, CoreError> {
+        if design.len() < MIN_PROFILING_SAMPLES {
+            return Err(CoreError::InsufficientProfiling {
+                needed: MIN_PROFILING_SAMPLES,
+                got: design.len(),
+            });
+        }
         let _fit_span = span(rec, Phase::OutcomeFit);
-        let space = scenario.config_space();
         if scenario.n_videos() == 0 {
             return Ok(OutcomeModelBank { models: Vec::new() });
         }
 
-        // Vary the uplink across samples so the latency GP sees it.
+        // Measure the shared design on one camera (noise draws consume
+        // the RNG; the design itself is fixed).
         let draw_samples = |cam: usize, rng: &mut R| -> Vec<ProfileSample> {
             let profiler = Profiler::new(scenario.surfaces(cam).clone())
                 .with_noise(rel_noise, rel_noise.min(0.02));
-            (0..samples_per_camera)
-                .map(|_| {
-                    let cfg = space.at(rng.gen_range(0..space.len()));
-                    let uplink = scenario.uplinks()[rng.gen_range(0..scenario.n_servers())];
-                    profiler.measure(&cfg, uplink, rng)
-                })
+            design
+                .configs
+                .iter()
+                .zip(&design.uplinks)
+                .map(|(cfg, &uplink)| profiler.measure(cfg, uplink, rng))
                 .collect()
         };
 
@@ -130,36 +207,33 @@ impl OutcomeModelBank {
             };
             cam0_models.push(fit_gp_recorded(&xs0, &ys, &cfg, rng, rec)?);
         }
-        let shared: Vec<(eva_gp::Kernel, f64)> = cam0_models
-            .iter()
-            .map(|m| (m.kernel().clone(), m.noise_var()))
-            .collect();
 
-        // Remaining cameras: draw sequentially, build in parallel — each
-        // build is an independent Cholesky with fixed hyperparameters.
+        // Remaining cameras: draw sequentially (deterministic RNG
+        // stream), build in parallel. The shared design makes every
+        // camera's `X` equal to camera 0's, so each build is a
+        // target-swap on camera 0's cached Cholesky factor instead of a
+        // fresh decomposition.
         let rest_samples: Vec<Vec<ProfileSample>> = (1..scenario.n_videos())
             .map(|cam| draw_samples(cam, rng))
             .collect();
         let rest_models: Vec<Vec<GpModel>> = rest_samples
             .par_iter()
             .map(|samples| {
-                let xs: Vec<Vec<f64>> = samples.iter().map(|s| s.features()).collect();
                 (0..N_OBJECTIVES)
                     .map(|obj| {
                         let ys: Vec<f64> = samples
                             .iter()
                             .map(|s| objective_value(&s.outcome, obj))
                             .collect();
-                        let (kernel, noise) = &shared[obj];
-                        GpModel::new(kernel.clone(), *noise, xs.clone(), ys)
+                        cam0_models[obj].with_targets(ys)
                     })
                     .collect::<Result<Vec<_>, _>>()
             })
             .collect::<Result<Vec<_>, _>>()?;
 
         let mut models = Vec::with_capacity(scenario.n_videos());
-        models.push(cam0_models);
-        models.extend(rest_models);
+        models.push(Arc::new(cam0_models));
+        models.extend(rest_models.into_iter().map(Arc::new));
         if rec.enabled() {
             rec.add("core.outcome_fits", 1);
             if warm.is_some() {
@@ -167,7 +241,7 @@ impl OutcomeModelBank {
             }
             rec.observe(
                 "core.profiling_samples",
-                (samples_per_camera * scenario.n_videos()) as f64,
+                (design.len() * scenario.n_videos()) as f64,
             );
         }
         Ok(OutcomeModelBank { models })
@@ -212,16 +286,45 @@ impl OutcomeModelBank {
         // Stage all five updated models first so a mid-way failure
         // cannot leave the camera with a half-updated bank. `condition`
         // extends the cached Cholesky factor (O(n²) per observation)
-        // and falls back to a full rebuild on numerical trouble.
+        // and falls back to a full rebuild on numerical trouble. The
+        // row is swapped in as one new `Arc`: clones of this bank held
+        // by in-flight surrogates keep the pre-update row.
         let mut staged = Vec::with_capacity(N_OBJECTIVES);
         for obj in 0..N_OBJECTIVES {
             let y = objective_value(&sample.outcome, obj);
             staged.push(self.models[camera][obj].condition(std::slice::from_ref(&x), &[y])?);
         }
-        for (obj, updated) in staged.into_iter().enumerate() {
-            self.models[camera][obj] = updated;
-        }
+        self.models[camera] = Arc::new(staged);
         Ok(())
+    }
+
+    /// [`Self::update`] for every camera at once, one sample per
+    /// camera, conditioning the rows in parallel. Per-camera semantics
+    /// are identical to a sequential `update` loop that ignores errors
+    /// (a failing camera keeps its previous row); conditioning is
+    /// deterministic linear algebra, so the resulting bank is
+    /// bit-identical regardless of thread schedule.
+    pub fn update_all(&mut self, samples: &[ProfileSample]) {
+        self.models
+            .par_iter_mut()
+            .zip(samples.par_iter())
+            .for_each(|(row, sample)| {
+                let x = sample.features();
+                if x.iter().any(|v| !v.is_finite())
+                    || sample.outcome.to_vec().iter().any(|v| !v.is_finite())
+                {
+                    return;
+                }
+                let mut staged = Vec::with_capacity(N_OBJECTIVES);
+                for obj in 0..N_OBJECTIVES {
+                    let y = objective_value(&sample.outcome, obj);
+                    match row[obj].condition(std::slice::from_ref(&x), &[y]) {
+                        Ok(m) => staged.push(m),
+                        Err(_) => return,
+                    }
+                }
+                *row = Arc::new(staged);
+            });
     }
 
     /// Predictive mean outcome of one camera under a config + uplink.
@@ -244,6 +347,23 @@ impl OutcomeModelBank {
     ) -> (f64, f64) {
         let x = features_of(config, uplink_bps);
         self.models[camera][objective].predict(&x)
+    }
+
+    /// Batched [`OutcomeModelBank::predict_objective`]: mean/variance at
+    /// many (config, uplink) queries against one GP, sharing a single
+    /// cross-kernel matrix ([`GpModel::predict_many`]). Bit-identical to
+    /// the per-query path.
+    pub fn predict_objective_many(
+        &self,
+        camera: usize,
+        objective: usize,
+        queries: &[(VideoConfig, f64)],
+    ) -> Vec<(f64, f64)> {
+        let xs: Vec<Vec<f64>> = queries
+            .iter()
+            .map(|(cfg, uplink)| features_of(cfg, *uplink))
+            .collect();
+        self.models[camera][objective].predict_many(&xs)
     }
 }
 
@@ -368,6 +488,85 @@ mod tests {
         let truth = sc.evaluate_stream(0, &c, 20e6).accuracy;
         let pred = warm.predict(0, &c, 20e6).accuracy;
         assert!((pred - truth).abs() < 0.1, "warm pred {pred} vs {truth}");
+    }
+
+    #[test]
+    fn designed_fit_matches_warm_path_and_shares_inputs() {
+        let sc = Scenario::uniform(3, 2, 20e6, 31);
+        // Drawing the design up front then fitting must equal the
+        // public warm path exactly (it is the same RNG stream).
+        let mut rng_a = seeded(5);
+        let mut rng_b = seeded(5);
+        let via_warm = OutcomeModelBank::fit_initial_warm_recorded(
+            &sc,
+            20,
+            0.02,
+            None,
+            &mut rng_a,
+            &NoopRecorder,
+        )
+        .unwrap();
+        let design = ProfilingDesign::draw(&sc, 20, &mut rng_b);
+        let via_design = OutcomeModelBank::fit_initial_designed_recorded(
+            &sc,
+            &design,
+            0.02,
+            None,
+            &mut rng_b,
+            &NoopRecorder,
+        )
+        .unwrap();
+        let c = VideoConfig::new(1440.0, 20.0);
+        for cam in 0..3 {
+            assert_eq!(
+                via_warm.predict(cam, &c, 20e6).to_vec(),
+                via_design.predict(cam, &c, 20e6).to_vec(),
+                "camera {cam}"
+            );
+        }
+        // The shared design makes every camera's training inputs equal
+        // to camera 0's (the with_targets fast path requires it).
+        for cam in 1..3 {
+            for obj in 0..N_OBJECTIVES {
+                assert_eq!(
+                    via_design.model(cam, obj).train_x(),
+                    via_design.model(0, obj).train_x(),
+                );
+            }
+        }
+        // A too-small design is rejected like a too-small budget.
+        let tiny = ProfilingDesign::draw(&sc, 3, &mut seeded(1));
+        assert!(OutcomeModelBank::fit_initial_designed_recorded(
+            &sc,
+            &tiny,
+            0.02,
+            None,
+            &mut seeded(1),
+            &NoopRecorder,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn predict_objective_many_is_bit_identical_to_scalar_path() {
+        let (sc, bank) = bank(20);
+        let space = sc.config_space();
+        let queries: Vec<(VideoConfig, f64)> = (0..space.len())
+            .step_by(3)
+            .map(|i| (space.at(i), if i % 2 == 0 { 20e6 } else { 5e6 }))
+            .collect();
+        for cam in 0..2 {
+            for obj in 0..N_OBJECTIVES {
+                let batch = bank.predict_objective_many(cam, obj, &queries);
+                assert_eq!(batch.len(), queries.len());
+                for (k, (cfg, uplink)) in queries.iter().enumerate() {
+                    let (mu, var) = bank.predict_objective(cam, obj, cfg, *uplink);
+                    assert_eq!(batch[k].0.to_bits(), mu.to_bits());
+                    assert_eq!(batch[k].1.to_bits(), var.to_bits());
+                }
+            }
+        }
+        assert!(bank.predict_objective_many(0, 0, &[]).is_empty());
     }
 
     #[test]

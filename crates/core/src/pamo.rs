@@ -18,7 +18,7 @@ use rand::Rng;
 use crate::benefit::{OutcomeNormalizer, TruePreference, TruePreferenceOracle};
 use crate::composite::{CompositeSampler, PreferenceEval, INFEASIBLE_BENEFIT};
 use crate::error::CoreError;
-use crate::models::OutcomeModelBank;
+use crate::models::{OutcomeModelBank, ProfilingDesign};
 use crate::pool::{build_pool, decode_joint};
 
 /// Where the preference layer comes from.
@@ -117,6 +117,11 @@ pub struct Pamo {
     config: PamoConfig,
     /// `[objective] -> theta` of the previous decision's shared fits.
     warm: Mutex<Option<Vec<Vec<f64>>>>,
+    /// The profiling design of the previous decision, reused across
+    /// epochs: the (config, uplink) grid stays fixed while each epoch
+    /// re-measures it, so GP inputs stay identical bank-wide and the
+    /// design-drawing RNG cost is paid once.
+    design: Mutex<Option<ProfilingDesign>>,
 }
 
 impl Clone for Pamo {
@@ -124,6 +129,7 @@ impl Clone for Pamo {
         Pamo {
             config: self.config.clone(),
             warm: Mutex::new(self.warm.lock().clone()),
+            design: Mutex::new(self.design.lock().clone()),
         }
     }
 }
@@ -134,14 +140,18 @@ impl Pamo {
         Pamo {
             config,
             warm: Mutex::new(None),
+            design: Mutex::new(None),
         }
     }
 
-    /// Drop the warm-start state so the next decision fits its outcome
-    /// models cold (e.g. after a workload change that invalidates the
-    /// previous hyperparameters).
+    /// Drop the warm-start state (hyperparameters *and* the cached
+    /// profiling design) so the next decision fits its outcome models
+    /// cold (e.g. after a workload change that invalidates the previous
+    /// hyperparameters). A reset decision redraws exactly the cold RNG
+    /// stream, so it bit-reproduces a fresh scheduler's decision.
     pub fn reset_warm_start(&self) {
         *self.warm.lock() = None;
+        *self.design.lock() = None;
     }
 
     /// Run Algorithm 2 on a scenario. `true_pref` plays the decision
@@ -195,10 +205,24 @@ impl Pamo {
 
         // (1) Outcome function fitting, warm-started from the previous
         // decision's hyperparameters when this scheduler has made one.
+        // The profiling design (the shared (config, uplink) grid) is
+        // cached alongside: later epochs re-measure the same points
+        // instead of redrawing them.
         let warm_thetas = self.warm.lock().clone();
-        let bank = OutcomeModelBank::fit_initial_warm_recorded(
+        let design = {
+            let mut guard = self.design.lock();
+            match guard.as_ref() {
+                Some(d) if d.len() == cfg.profiling_per_camera => d.clone(),
+                _ => {
+                    let d = ProfilingDesign::draw(scenario, cfg.profiling_per_camera, rng);
+                    *guard = Some(d.clone());
+                    d
+                }
+            }
+        };
+        let bank = OutcomeModelBank::fit_initial_designed_recorded(
             scenario,
-            cfg.profiling_per_camera,
+            &design,
             cfg.profile_noise,
             warm_thetas.as_deref(),
             rng,
@@ -340,22 +364,31 @@ pub fn measure_aggregate(
     configs: &[VideoConfig],
     assignment: &eva_sched::Assignment,
     rel_noise: f64,
-    mut update_bank: Option<&mut OutcomeModelBank>,
+    update_bank: Option<&mut OutcomeModelBank>,
 ) -> Option<Outcome> {
     let m = scenario.n_videos();
     let mut rng = eva_stats::rng::seeded(hash_configs(configs));
+    // First split part of each camera, found in one pass (the
+    // per-camera `position()` scan this replaces was O(M²)).
+    let mut first_part: Vec<Option<usize>> = vec![None; m];
+    for (i, st) in assignment.streams.iter().enumerate() {
+        let slot = &mut first_part[st.id.source];
+        if slot.is_none() {
+            *slot = Some(i);
+        }
+    }
     let mut acc = 0.0;
     let mut net = 0.0;
     let mut com = 0.0;
     let mut eng = 0.0;
     let mut lat = 0.0;
+    // Measurements draw from one shared RNG stream, so this loop is
+    // sequential; the per-camera GP conditioning below is not, so the
+    // samples are collected and fed to the bank as one parallel pass.
+    let mut samples = Vec::with_capacity(if update_bank.is_some() { m } else { 0 });
     #[allow(clippy::needless_range_loop)]
     for cam in 0..m {
-        let uplink = assignment
-            .streams
-            .iter()
-            .position(|s| s.id.source == cam)
-            .map(|i| scenario.uplinks()[assignment.server_of[i]])?;
+        let uplink = first_part[cam].map(|i| scenario.uplinks()[assignment.server_of[i]])?;
         let profiler = Profiler::new(scenario.surfaces(cam).clone())
             .with_noise(rel_noise, rel_noise.min(0.02));
         let sample = profiler.measure(&configs[cam], uplink, &mut rng);
@@ -364,11 +397,14 @@ pub fn measure_aggregate(
         com += sample.outcome.compute_tflops;
         eng += sample.outcome.power_w;
         lat += sample.outcome.latency_s;
-        if let Some(bank) = update_bank.as_deref_mut() {
-            // A conditioning failure keeps the camera's previous models
-            // (stale beats poisoned); the measurement itself still counts.
-            let _ = bank.update(cam, &sample);
+        if update_bank.is_some() {
+            samples.push(sample);
         }
+    }
+    if let Some(bank) = update_bank {
+        // Conditioning failures keep a camera's previous models (stale
+        // beats poisoned); the measurements themselves still count.
+        bank.update_all(&samples);
     }
     Some(Outcome {
         latency_s: lat / m as f64,

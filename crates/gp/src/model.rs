@@ -185,6 +185,69 @@ impl GpModel {
         xs.iter().map(|x| self.predict(x)).collect()
     }
 
+    /// Vectorized [`GpModel::predict`] over many points: builds the
+    /// q×n cross-kernel matrix once (query-major, so each query's
+    /// kernel row is a contiguous slice) and reuses one triangular-solve
+    /// scratch buffer across queries instead of allocating per call.
+    /// Per-point results are bit-identical to [`GpModel::predict`] —
+    /// each row sees the same kernel evaluations (the scaled squared
+    /// distance is exactly symmetric), the same dot order, and the same
+    /// substitution.
+    pub fn predict_many(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        debug_assert!(
+            xs.iter().all(|x| x.len() == self.dim()),
+            "predict_many: dim mismatch"
+        );
+        let kqx = self.kernel.cross_matrix(xs, &self.x); // q x n
+        let s2 = self.y_std * self.y_std;
+        let mut scratch = vec![0.0; self.x.len()];
+        (0..xs.len())
+            .map(|j| {
+                let kx = kqx.row(j);
+                let mean_z = vecops::dot(kx, &self.alpha);
+                let v = self.chol.quad_form_into(kx, &mut scratch).unwrap_or(0.0);
+                let var_z = (self.kernel.eval(&xs[j], &xs[j]) - v).max(0.0);
+                (self.y_mean + self.y_std * mean_z, s2 * var_z)
+            })
+            .collect()
+    }
+
+    /// A model over the *same inputs and hyperparameters* but fresh
+    /// targets: reuses this model's cached Cholesky factor (the Gram
+    /// matrix depends only on the inputs, kernel, and noise) and only
+    /// re-solves for the weight vector. Bit-identical to
+    /// `GpModel::new(kernel, noise_var, x, y)` on the same inputs, at
+    /// O(n²) instead of O(n³) — the shared-profiling-design fit path
+    /// builds one factor per objective and reuses it across all cameras.
+    pub fn with_targets(&self, y: Vec<f64>) -> Result<GpModel> {
+        if y.len() != self.x.len() {
+            return Err(GpError::BadData(format!(
+                "with_targets: {} targets vs {} inputs",
+                y.len(),
+                self.x.len()
+            )));
+        }
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::BadData("with_targets: non-finite target".into()));
+        }
+        let (y_mean, y_std) = standardization_of(&y);
+        let z: Vec<f64> = y.iter().map(|&v| (v - y_mean) / y_std).collect();
+        let alpha = self.chol.solve(&z)?;
+        Ok(GpModel {
+            kernel: self.kernel.clone(),
+            noise_var: self.noise_var,
+            x: self.x.clone(),
+            y_raw: y,
+            y_mean,
+            y_std,
+            chol: self.chol.clone(),
+            alpha,
+        })
+    }
+
     /// Observation-noise variance in original units.
     pub fn observation_noise(&self) -> f64 {
         self.noise_var * self.y_std * self.y_std
@@ -553,6 +616,46 @@ mod tests {
         let (mean_after, var_after) = m2.predict(&q);
         assert!(var_after < var_before / 10.0);
         assert!((mean_after - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn predict_many_is_bit_identical_to_predict() {
+        let m = toy_model();
+        let qs: Vec<Vec<f64>> = (0..7).map(|i| vec![i as f64 * 0.55 - 0.4]).collect();
+        let batch = m.predict_many(&qs);
+        assert_eq!(batch.len(), qs.len());
+        for (q, &(mean_b, var_b)) in qs.iter().zip(&batch) {
+            let (mean, var) = m.predict(q);
+            assert_eq!(mean.to_bits(), mean_b.to_bits(), "mean at {q:?}");
+            assert_eq!(var.to_bits(), var_b.to_bits(), "var at {q:?}");
+        }
+        assert!(m.predict_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn with_targets_matches_fresh_build() {
+        let m = toy_model();
+        let y2: Vec<f64> = m.train_x().iter().map(|p| p[0] * 0.7 - 2.0).collect();
+        let fast = m.with_targets(y2.clone()).unwrap();
+        let slow = GpModel::new(
+            m.kernel().clone(),
+            m.noise_var(),
+            m.train_x().to_vec(),
+            y2.clone(),
+        )
+        .unwrap();
+        assert_eq!(fast.standardization(), slow.standardization());
+        for q in [vec![0.1], vec![1.3], vec![2.9]] {
+            let (mf, vf) = fast.predict(&q);
+            let (ms, vs) = slow.predict(&q);
+            assert_eq!(mf.to_bits(), ms.to_bits(), "mean at {q:?}");
+            assert_eq!(vf.to_bits(), vs.to_bits(), "var at {q:?}");
+        }
+        // Length mismatch and non-finite targets are rejected.
+        assert!(m.with_targets(vec![1.0]).is_err());
+        let mut bad = y2;
+        bad[0] = f64::NAN;
+        assert!(m.with_targets(bad).is_err());
     }
 
     #[test]

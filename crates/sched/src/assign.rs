@@ -9,9 +9,71 @@
 
 use eva_obs::{span, NoopRecorder, Phase, Recorder};
 
+use crate::auction::{AuctionConfig, AuctionSolver, SparseCost};
 use crate::group::{group_streams, GroupingError};
 use crate::hungarian::hungarian_min_cost;
 use crate::stream::{split_high_rate, StreamTiming};
+
+/// Group count at and above which [`AssignStrategy::Auto`] switches
+/// from the dense Hungarian to the sparse auction. Below this the dense
+/// solver is already microseconds and keeps the historical bit-exact
+/// output.
+pub const AUTO_AUCTION_THRESHOLD: usize = 64;
+
+/// Candidate servers per group the auto strategy prices (plus the seed
+/// arc; see [`sparse_candidates`]).
+const AUTO_AUCTION_TOP_K: usize = 8;
+
+/// How Algorithm 1's line-20 group-to-server matching is solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AssignStrategy {
+    /// Dense Hungarian below [`AUTO_AUCTION_THRESHOLD`] groups (the
+    /// historical, bit-exact path), sparse auction above it.
+    #[default]
+    Auto,
+    /// Always the dense O(n³) Hungarian solver.
+    Hungarian,
+    /// Always the ε-scaling auction over sparse candidates: each group
+    /// prices its `top_k` cheapest servers plus a seed server chosen by
+    /// rank-pairing (heaviest group ↔ fastest uplink), which guarantees
+    /// a perfect matching exists within the sparse arcs. Falls back to
+    /// Hungarian if the auction errors.
+    Auction {
+        /// Cheapest candidate servers per group.
+        top_k: usize,
+    },
+}
+
+/// Build the sparse candidate cost matrix for the auction: per group
+/// the `top_k` cheapest servers, plus a *seed* arc pairing groups and
+/// servers rank-by-rank (bits descending ↔ uplink descending). The
+/// per-group cost is rank-1 in the uplink (`bits_g / B_j`), so the
+/// rank-paired seed assignment is optimal by the rearrangement
+/// inequality — including it both guarantees the sparse instance has a
+/// perfect matching and keeps a near-optimal solution inside the arcs.
+fn sparse_candidates(group_bits: &[f64], uplinks: &[f64], top_k: usize) -> SparseCost {
+    let n = group_bits.len();
+    let m = uplinks.len();
+    let mut col_order: Vec<usize> = (0..m).collect();
+    col_order.sort_by(|&a, &b| uplinks[b].total_cmp(&uplinks[a]).then(a.cmp(&b)));
+    let mut row_order: Vec<usize> = (0..n).collect();
+    row_order.sort_by(|&a, &b| group_bits[b].total_cmp(&group_bits[a]).then(a.cmp(&b)));
+    let mut seed_col = vec![0usize; n];
+    for (rank, &g) in row_order.iter().enumerate() {
+        seed_col[g] = col_order[rank];
+    }
+    let mut sparse = SparseCost::new(m);
+    for (g, &bits) in group_bits.iter().enumerate() {
+        let mut arcs: Vec<(usize, f64)> = col_order
+            .iter()
+            .take(top_k)
+            .map(|&j| (j, bits / uplinks[j]))
+            .collect();
+        arcs.push((seed_col[g], bits / uplinks[seed_col[g]]));
+        sparse.push_row(arcs);
+    }
+    sparse
+}
 
 /// A complete placement decision.
 #[derive(Debug, Clone)]
@@ -96,6 +158,30 @@ pub fn assign_groups_to_surviving_servers_recorded(
     alive: Option<&[bool]>,
     rec: &dyn Recorder,
 ) -> Result<Assignment, GroupingError> {
+    assign_groups_with_strategy_recorded(
+        streams,
+        bits_per_frame,
+        uplink_bps,
+        alive,
+        AssignStrategy::Auto,
+        rec,
+    )
+}
+
+/// [`assign_groups_to_surviving_servers_recorded`] with an explicit
+/// matching strategy. [`AssignStrategy::Auto`] keeps the dense
+/// Hungarian (bit-exact historical output) below
+/// [`AUTO_AUCTION_THRESHOLD`] groups and switches to the sparse
+/// ε-scaling auction above it, where the dense O(n³) solve becomes the
+/// asymptotic wall.
+pub fn assign_groups_with_strategy_recorded(
+    streams: &[StreamTiming],
+    bits_per_frame: &[f64],
+    uplink_bps: &[f64],
+    alive: Option<&[bool]>,
+    strategy: AssignStrategy,
+    rec: &dyn Recorder,
+) -> Result<Assignment, GroupingError> {
     assert_eq!(
         streams.len(),
         bits_per_frame.len(),
@@ -151,15 +237,57 @@ pub fn assign_groups_to_surviving_servers_recorded(
     }
 
     let _assignment_span = span(rec, Phase::Assignment);
-    // Cost matrix: group g on usable server j.
-    let cost: Vec<Vec<f64>> = groups
+    let group_bits: Vec<f64> = groups
         .iter()
-        .map(|g| {
-            let group_bits: f64 = g.iter().map(|&i| bits_per_frame[split[i].id.source]).sum();
-            usable.iter().map(|&j| group_bits / uplink_bps[j]).collect()
-        })
+        .map(|g| g.iter().map(|&i| bits_per_frame[split[i].id.source]).sum())
         .collect();
-    let (chosen, total_comm_latency) = hungarian_min_cost(&cost);
+    let top_k = match strategy {
+        AssignStrategy::Hungarian => None,
+        AssignStrategy::Auction { top_k } => Some(top_k.max(1)),
+        AssignStrategy::Auto => {
+            (groups.len() >= AUTO_AUCTION_THRESHOLD).then_some(AUTO_AUCTION_TOP_K)
+        }
+    };
+    let solve_dense = |rec: &dyn Recorder| {
+        // Cost matrix: group g on usable server j.
+        let cost: Vec<Vec<f64>> = group_bits
+            .iter()
+            .map(|&gb| usable.iter().map(|&j| gb / uplink_bps[j]).collect())
+            .collect();
+        if rec.enabled() {
+            rec.add("sched.hungarian_solves", 1);
+        }
+        hungarian_min_cost(&cost)
+    };
+    let (chosen, total_comm_latency) = match top_k {
+        Some(top_k) => {
+            let uplinks: Vec<f64> = usable.iter().map(|&j| uplink_bps[j]).collect();
+            let sparse = sparse_candidates(&group_bits, &uplinks, top_k);
+            match AuctionSolver::solve(&sparse, &AuctionConfig::default()) {
+                Ok(solver) => {
+                    if rec.enabled() {
+                        rec.add("sched.auction_solves", 1);
+                    }
+                    let chosen = solver.assignment().to_vec();
+                    let total: f64 = chosen
+                        .iter()
+                        .enumerate()
+                        .map(|(g, &j)| group_bits[g] / uplinks[j])
+                        .sum();
+                    (chosen, total)
+                }
+                Err(_) => {
+                    // The seeded candidate set always admits a perfect
+                    // matching; this is a belt-and-braces safety net.
+                    if rec.enabled() {
+                        rec.add("sched.auction_fallbacks", 1);
+                    }
+                    solve_dense(rec)
+                }
+            }
+        }
+        None => solve_dense(rec),
+    };
     let group_server: Vec<usize> = chosen.into_iter().map(|j| usable[j]).collect();
 
     let mut server_of = vec![usize::MAX; split.len()];
@@ -335,6 +463,103 @@ mod tests {
         let a = assign_groups_to_servers(&[], &[], &[10e6]).unwrap();
         assert!(a.server_of.is_empty());
         assert_eq!(a.total_comm_latency, 0.0);
+    }
+
+    /// A many-group instance with mutually non-harmonic periods: each
+    /// stream lands in its own group, exercising the matching at scale.
+    fn many_groups(n: usize) -> (Vec<StreamTiming>, Vec<f64>, Vec<f64>) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+        // Pairwise coprime-ish periods (primes in ticks) with proc close
+        // to the period so no two streams can share a group.
+        let mut streams = Vec::with_capacity(n);
+        let mut period = 100_003u64;
+        for i in 0..n {
+            streams.push(StreamTiming::new(
+                StreamId::source(i),
+                period,
+                period - 1_000,
+            ));
+            period = (period + 2_000..)
+                .find(|p| p % 2 == 1 && p % 3 != 0 && p % 5 != 0)
+                .unwrap();
+        }
+        let bits: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5e6..8e6)).collect();
+        let uplinks: Vec<f64> = (0..n + n / 4)
+            .map(|_| [5e6, 10e6, 15e6, 20e6, 25e6, 30e6][rng.gen_range(0..6)])
+            .collect();
+        (streams, bits, uplinks)
+    }
+
+    #[test]
+    fn auction_strategy_matches_hungarian_latency() {
+        let (streams, bits, uplinks) = many_groups(80);
+        let rec = eva_obs::NoopRecorder;
+        let hung = assign_groups_with_strategy_recorded(
+            &streams,
+            &bits,
+            &uplinks,
+            None,
+            AssignStrategy::Hungarian,
+            &rec,
+        )
+        .unwrap();
+        let auct = assign_groups_with_strategy_recorded(
+            &streams,
+            &bits,
+            &uplinks,
+            None,
+            AssignStrategy::Auction { top_k: 8 },
+            &rec,
+        )
+        .unwrap();
+        // Groups are identical (grouping is strategy-independent); the
+        // auction matching must be within its advertised tolerance of
+        // the Hungarian optimum (1e-4 relative, plus fp slack).
+        assert_eq!(hung.groups, auct.groups);
+        let tol = 1e-4 * hung.total_comm_latency.max(1.0) + 1e-9;
+        assert!(
+            auct.total_comm_latency <= hung.total_comm_latency + tol,
+            "auction {} vs hungarian {}",
+            auct.total_comm_latency,
+            hung.total_comm_latency
+        );
+        // Valid placement: distinct servers per group.
+        let mut servers = auct.group_server.clone();
+        servers.sort_unstable();
+        servers.dedup();
+        assert_eq!(servers.len(), auct.groups.len());
+    }
+
+    #[test]
+    fn auto_strategy_is_bit_identical_below_threshold() {
+        let streams = vec![st(0, 10.0, 0.03), st(1, 5.0, 0.05), st(2, 7.0, 0.02)];
+        let bits = vec![1e6, 2e6, 0.5e6];
+        let uplinks = vec![10e6, 20e6, 30e6];
+        let rec = eva_obs::NoopRecorder;
+        let auto = assign_groups_with_strategy_recorded(
+            &streams,
+            &bits,
+            &uplinks,
+            None,
+            AssignStrategy::Auto,
+            &rec,
+        )
+        .unwrap();
+        let hung = assign_groups_with_strategy_recorded(
+            &streams,
+            &bits,
+            &uplinks,
+            None,
+            AssignStrategy::Hungarian,
+            &rec,
+        )
+        .unwrap();
+        assert_eq!(auto.server_of, hung.server_of);
+        assert_eq!(
+            auto.total_comm_latency.to_bits(),
+            hung.total_comm_latency.to_bits()
+        );
     }
 
     use crate::stream::Ticks;

@@ -1,0 +1,587 @@
+//! ε-scaling auction assignment over sparse candidate arcs.
+//!
+//! Bertsekas' forward auction solves the min-cost assignment problem by
+//! letting unassigned rows *bid* for their best-value column (value =
+//! `-cost - price`), raising that column's price by the bid increment
+//! `v_best - v_second + ε`. Once every row is assigned, the matching
+//! satisfies ε-complementary-slackness: each row's assigned value is
+//! within ε of its best available value, which bounds the total cost to
+//! within `n·ε` of the optimum. ε-*scaling* runs the auction in phases
+//! with geometrically shrinking ε (keeping prices between phases), which
+//! avoids the slow "price war" convergence a small ε would cost from a
+//! cold start.
+//!
+//! Two properties make this the scalable replacement for the dense
+//! O(n³) Hungarian solver in Algorithm 1's line 20:
+//!
+//! * it operates on a **sparse** arc set ([`SparseCost`]) — only the
+//!   candidate servers worth considering per group need to be priced —
+//!   so work scales with arcs, not `rows × cols`;
+//! * prices are a reusable dual certificate: after costs change for a
+//!   few rows, [`AuctionSolver::resolve_rows`] re-bids *only those rows*
+//!   (plus any cascade of displaced rows) at the final ε. Untouched rows
+//!   keep ε-CS — their costs are unchanged and prices only ever rise —
+//!   so the repaired matching carries the same `n·ε` optimality bound as
+//!   a from-scratch solve.
+//!
+//! The solver is deterministic: rows bid in FIFO order and ties among
+//! equal-value arcs resolve to the lowest column index.
+
+use std::collections::VecDeque;
+
+/// Sentinel for "no row/column".
+pub const UNASSIGNED: usize = usize::MAX;
+
+/// Sparse row-to-column cost structure: each row holds its finite-cost
+/// candidate arcs as `(column, cost)` pairs, sorted by column.
+#[derive(Debug, Clone)]
+pub struct SparseCost {
+    rows: Vec<Vec<(usize, f64)>>,
+    n_cols: usize,
+}
+
+impl SparseCost {
+    /// Empty structure over `n_cols` columns.
+    pub fn new(n_cols: usize) -> Self {
+        SparseCost {
+            rows: Vec::new(),
+            n_cols,
+        }
+    }
+
+    /// Append one row's candidate arcs. Out-of-range columns and
+    /// non-finite costs are dropped; duplicate columns keep the first.
+    pub fn push_row(&mut self, mut arcs: Vec<(usize, f64)>) {
+        arcs.retain(|&(j, c)| j < self.n_cols && c.is_finite());
+        arcs.sort_by_key(|&(j, _)| j);
+        arcs.dedup_by_key(|&mut (j, _)| j);
+        self.rows.push(arcs);
+    }
+
+    /// Replace the arcs of an existing row (used by incremental
+    /// re-assignment when a row's costs changed).
+    pub fn set_row(&mut self, row: usize, mut arcs: Vec<(usize, f64)>) {
+        arcs.retain(|&(j, c)| j < self.n_cols && c.is_finite());
+        arcs.sort_by_key(|&(j, _)| j);
+        arcs.dedup_by_key(|&mut (j, _)| j);
+        self.rows[row] = arcs;
+    }
+
+    /// Build from a dense matrix; `INFINITY` entries become missing arcs.
+    pub fn from_dense(cost: &[Vec<f64>]) -> Self {
+        let n_cols = cost.first().map_or(0, |r| r.len());
+        let mut s = SparseCost::new(n_cols);
+        for row in cost {
+            s.push_row(
+                row.iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.is_finite())
+                    .map(|(j, &c)| (j, c))
+                    .collect(),
+            );
+        }
+        s
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Candidate arcs of `row`.
+    pub fn arcs(&self, row: usize) -> &[(usize, f64)] {
+        &self.rows[row]
+    }
+
+    /// Cost of arc `(row, col)` if present.
+    pub fn cost(&self, row: usize, col: usize) -> Option<f64> {
+        self.rows[row]
+            .iter()
+            .find(|&&(j, _)| j == col)
+            .map(|&(_, c)| c)
+    }
+
+    /// Largest absolute arc cost (0 when there are no arcs).
+    fn cost_scale(&self) -> f64 {
+        self.rows
+            .iter()
+            .flatten()
+            .map(|&(_, c)| c.abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Failure modes of the auction. Callers treat both as "fall back to
+/// the dense Hungarian solver".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuctionError {
+    /// A row has no candidate arcs (or lost all of them to filtering).
+    RowWithoutArcs {
+        /// Offending row index.
+        row: usize,
+    },
+    /// The bid-count safety cap was hit before every row was assigned —
+    /// the sparse arc set likely admits no perfect matching.
+    BidLimit {
+        /// Bids spent before giving up.
+        bids: usize,
+    },
+}
+
+impl std::fmt::Display for AuctionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuctionError::RowWithoutArcs { row } => {
+                write!(f, "auction: row {row} has no candidate arcs")
+            }
+            AuctionError::BidLimit { bids } => {
+                write!(
+                    f,
+                    "auction: bid limit hit after {bids} bids (no perfect matching?)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuctionError {}
+
+/// Tuning knobs for the ε-scaling schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct AuctionConfig {
+    /// Relative additive optimality tolerance: the final ε is chosen so
+    /// that the `n·ε` suboptimality bound is about `rel_tol` times the
+    /// largest arc cost.
+    pub rel_tol: f64,
+    /// Geometric shrink factor of ε between scaling phases.
+    pub scale_factor: f64,
+    /// Safety cap on total bids per solve (and per incremental repair).
+    pub max_bids: usize,
+}
+
+impl Default for AuctionConfig {
+    fn default() -> Self {
+        AuctionConfig {
+            rel_tol: 1e-4,
+            scale_factor: 5.0,
+            max_bids: 2_000_000,
+        }
+    }
+}
+
+/// Auction state: a matching plus the dual prices that certify it.
+///
+/// Rectangular instances (`rows < cols`) are padded internally with
+/// zero-cost *dummy rows* connected to every column, making the
+/// matching perfect on columns. Without the padding, ε-scaling phases
+/// can strand a stale high price on a column that ends up unassigned,
+/// which silently voids the `n·ε` optimality bound; with it, both the
+/// auction matching and any competitor matching pay the full column
+/// price sum, so the bound's price terms cancel. Dummies contribute
+/// zero cost and are invisible in [`assignment`](Self::assignment).
+///
+/// Keep the solver around between epochs to use [`resolve_rows`]
+/// (incremental re-assignment) instead of solving from scratch.
+///
+/// [`resolve_rows`]: AuctionSolver::resolve_rows
+#[derive(Debug, Clone)]
+pub struct AuctionSolver {
+    prices: Vec<f64>,
+    /// Length `n_cols`: real rows `0..n_real`, then dummy rows.
+    row_to_col: Vec<usize>,
+    col_to_row: Vec<usize>,
+    n_real: usize,
+    eps_final: f64,
+    scale: f64,
+    max_bids: usize,
+    bids: usize,
+}
+
+impl AuctionSolver {
+    /// Solve the sparse assignment problem from scratch.
+    ///
+    /// Requires `n_rows <= n_cols`. On success every row is assigned a
+    /// distinct column and the total cost is within
+    /// [`optimality_gap_bound`](Self::optimality_gap_bound) of the
+    /// optimum restricted to the given arcs.
+    pub fn solve(sparse: &SparseCost, cfg: &AuctionConfig) -> Result<Self, AuctionError> {
+        let n = sparse.n_rows();
+        let m = sparse.n_cols();
+        assert!(n <= m, "auction: rows {n} > cols {m}");
+        let scale = sparse.cost_scale().max(1e-12);
+        let eps_final = (cfg.rel_tol * scale / m.max(1) as f64).max(1e-12);
+        let mut solver = AuctionSolver {
+            prices: vec![0.0; m],
+            row_to_col: vec![UNASSIGNED; m],
+            col_to_row: vec![UNASSIGNED; m],
+            n_real: n,
+            eps_final,
+            scale,
+            max_bids: cfg.max_bids,
+            bids: 0,
+        };
+        if n == 0 {
+            return Ok(solver);
+        }
+        let mut eps = (scale / 4.0).max(eps_final);
+        loop {
+            // Each phase restarts the matching but keeps the prices —
+            // that is what makes ε-scaling fast.
+            solver.row_to_col.fill(UNASSIGNED);
+            solver.col_to_row.fill(UNASSIGNED);
+            let pending: VecDeque<usize> = (0..m).collect();
+            solver.bid_until_assigned(sparse, pending, eps)?;
+            if eps <= solver.eps_final {
+                break;
+            }
+            eps = (eps / cfg.scale_factor).max(solver.eps_final);
+        }
+        Ok(solver)
+    }
+
+    /// Adopt an existing matching and price vector as warm-start state
+    /// for incremental repricing via [`resolve_rows`](Self::resolve_rows).
+    ///
+    /// `assignment[i]` is the column of row `i` ([`UNASSIGNED`] allowed)
+    /// and must be injective; `prices` is zero-extended to `n_cols`.
+    /// Unlike [`solve`](Self::solve), no ε-complementary-slackness is
+    /// assumed of the inputs, so a subsequent `resolve_rows` is a
+    /// *best-effort* improvement of the touched rows (with displacement
+    /// cascades) rather than a certified near-optimal solve — which is
+    /// exactly what an event-driven rescheduler wants between full
+    /// epoch-boundary re-optimizations.
+    pub fn from_matching(
+        sparse: &SparseCost,
+        assignment: &[usize],
+        prices: Vec<f64>,
+        cfg: &AuctionConfig,
+    ) -> Self {
+        let n = sparse.n_rows();
+        let m = sparse.n_cols();
+        assert!(n <= m, "auction: rows {n} > cols {m}");
+        assert_eq!(assignment.len(), n, "auction: assignment length mismatch");
+        let mut p = prices;
+        p.resize(m, 0.0);
+        let mut row_to_col = vec![UNASSIGNED; m];
+        let mut col_to_row = vec![UNASSIGNED; m];
+        for (i, &j) in assignment.iter().enumerate() {
+            if j == UNASSIGNED {
+                continue;
+            }
+            assert!(j < m, "auction: column {j} out of range");
+            assert!(
+                col_to_row[j] == UNASSIGNED,
+                "auction: column {j} assigned twice"
+            );
+            row_to_col[i] = j;
+            col_to_row[j] = i;
+        }
+        let scale = sparse.cost_scale().max(1e-12);
+        let eps_final = (cfg.rel_tol * scale / m.max(1) as f64).max(1e-12);
+        AuctionSolver {
+            prices: p,
+            row_to_col,
+            col_to_row,
+            n_real: n,
+            eps_final,
+            scale,
+            max_bids: cfg.max_bids,
+            bids: 0,
+        }
+    }
+
+    /// Re-solve only `rows` (whose costs in `sparse` may have changed)
+    /// at the final ε, keeping prices and all other assignments. Rows
+    /// displaced by the re-bidding cascade are re-bid too. Returns the
+    /// number of bids spent. An empty `rows` slice is a no-op.
+    ///
+    /// Untouched rows keep ε-complementary slackness (their costs are
+    /// unchanged and prices only rise), so the repaired matching has
+    /// the same `n·ε` optimality bound as a fresh solve on the updated
+    /// costs — provided only the listed rows' costs changed.
+    pub fn resolve_rows(
+        &mut self,
+        sparse: &SparseCost,
+        rows: &[usize],
+    ) -> Result<usize, AuctionError> {
+        assert_eq!(
+            sparse.n_rows(),
+            self.n_real,
+            "auction: sparse shape changed since solve"
+        );
+        if rows.is_empty() {
+            return Ok(0);
+        }
+        self.scale = sparse.cost_scale().max(1e-12);
+        let mut pending: VecDeque<usize> = VecDeque::new();
+        let mut queued = vec![false; self.n_real];
+        for &i in rows {
+            if i >= self.n_real || queued[i] {
+                continue;
+            }
+            queued[i] = true;
+            let j = self.row_to_col[i];
+            if j != UNASSIGNED {
+                self.col_to_row[j] = UNASSIGNED;
+                self.row_to_col[i] = UNASSIGNED;
+            }
+            pending.push_back(i);
+        }
+        self.bids = 0;
+        self.bid_until_assigned(sparse, pending, self.eps_final)?;
+        Ok(self.bids)
+    }
+
+    /// One auction phase: bid rows from `pending` (FIFO, displaced rows
+    /// re-queued) until none remain unassigned.
+    fn bid_until_assigned(
+        &mut self,
+        sparse: &SparseCost,
+        mut pending: VecDeque<usize>,
+        eps: f64,
+    ) -> Result<(), AuctionError> {
+        while let Some(i) = pending.pop_front() {
+            if self.row_to_col[i] != UNASSIGNED {
+                continue;
+            }
+            let mut best_j = UNASSIGNED;
+            let mut best_v = f64::NEG_INFINITY;
+            let mut second_v = f64::NEG_INFINITY;
+            if i < self.n_real {
+                for &(j, c) in sparse.arcs(i) {
+                    let v = -c - self.prices[j];
+                    if v > best_v {
+                        second_v = best_v;
+                        best_v = v;
+                        best_j = j;
+                    } else if v > second_v {
+                        second_v = v;
+                    }
+                }
+            } else {
+                // Dummy padding row: zero cost on every column.
+                for (j, &p) in self.prices.iter().enumerate() {
+                    let v = -p;
+                    if v > best_v {
+                        second_v = best_v;
+                        best_v = v;
+                        best_j = j;
+                    } else if v > second_v {
+                        second_v = v;
+                    }
+                }
+            }
+            if best_j == UNASSIGNED {
+                return Err(AuctionError::RowWithoutArcs { row: i });
+            }
+            // Single-arc rows have no second-best; a large bump prices
+            // competitors out immediately (any increment keeps ε-CS).
+            let incr = if second_v.is_finite() {
+                best_v - second_v + eps
+            } else {
+                2.0 * self.scale + eps
+            };
+            self.prices[best_j] += incr;
+            let prev = self.col_to_row[best_j];
+            if prev != UNASSIGNED {
+                self.row_to_col[prev] = UNASSIGNED;
+                pending.push_back(prev);
+            }
+            self.col_to_row[best_j] = i;
+            self.row_to_col[i] = best_j;
+            self.bids += 1;
+            if self.bids > self.max_bids {
+                return Err(AuctionError::BidLimit { bids: self.bids });
+            }
+        }
+        Ok(())
+    }
+
+    /// Column assigned to each (real) row ([`UNASSIGNED`] never appears
+    /// after a successful [`solve`](Self::solve)). Dummy padding rows
+    /// are not included.
+    pub fn assignment(&self) -> &[usize] {
+        &self.row_to_col[..self.n_real]
+    }
+
+    /// Row owning each column, [`UNASSIGNED`] for free columns.
+    pub fn column_owners(&self) -> &[usize] {
+        &self.col_to_row
+    }
+
+    /// Current dual prices per column.
+    pub fn prices(&self) -> &[f64] {
+        &self.prices
+    }
+
+    /// The final ε of the scaling schedule.
+    pub fn eps_final(&self) -> f64 {
+        self.eps_final
+    }
+
+    /// Additive bound on suboptimality: `n_cols · ε_final` (the padded
+    /// square instance has `n_cols` rows).
+    pub fn optimality_gap_bound(&self) -> f64 {
+        self.prices.len() as f64 * self.eps_final
+    }
+
+    /// Total cost of the current matching under `sparse`. Unassigned
+    /// rows, dummy rows and missing arcs contribute nothing.
+    pub fn total_cost(&self, sparse: &SparseCost) -> f64 {
+        self.row_to_col[..self.n_real]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &j)| j != UNASSIGNED)
+            .filter_map(|(i, &j)| sparse.cost(i, j))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hungarian::hungarian_min_cost;
+
+    fn solve_dense(cost: &[Vec<f64>]) -> AuctionSolver {
+        let sparse = SparseCost::from_dense(cost);
+        AuctionSolver::solve(&sparse, &AuctionConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn matches_hungarian_on_classic_3x3() {
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let s = solve_dense(&cost);
+        let sparse = SparseCost::from_dense(&cost);
+        let total = s.total_cost(&sparse);
+        assert!(
+            total <= 5.0 + s.optimality_gap_bound() + 1e-9,
+            "total {total}"
+        );
+    }
+
+    #[test]
+    fn assignment_is_injective() {
+        let cost = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![2.0, 4.0, 6.0, 8.0],
+            vec![3.0, 6.0, 9.0, 12.0],
+        ];
+        let s = solve_dense(&cost);
+        let mut cols = s.assignment().to_vec();
+        cols.sort_unstable();
+        cols.dedup();
+        assert_eq!(cols.len(), 3);
+    }
+
+    #[test]
+    fn random_instances_stay_within_gap_of_hungarian() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+        for trial in 0..40 {
+            let n = rng.gen_range(1..=12);
+            let m = rng.gen_range(n..=14);
+            let cost: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..m).map(|_| rng.gen_range(0.0..10.0)).collect())
+                .collect();
+            let (_, opt) = hungarian_min_cost(&cost);
+            let sparse = SparseCost::from_dense(&cost);
+            let s = AuctionSolver::solve(&sparse, &AuctionConfig::default()).unwrap();
+            let total = s.total_cost(&sparse);
+            assert!(
+                total <= opt + s.optimality_gap_bound() + 1e-9,
+                "trial {trial}: auction {total} vs optimal {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn forbidden_arcs_are_respected() {
+        let inf = f64::INFINITY;
+        let cost = vec![vec![inf, 1.0], vec![1.0, inf]];
+        let sparse = SparseCost::from_dense(&cost);
+        let s = AuctionSolver::solve(&sparse, &AuctionConfig::default()).unwrap();
+        assert_eq!(s.assignment(), &[1, 0]);
+    }
+
+    #[test]
+    fn infeasible_sparse_instance_errors_instead_of_spinning() {
+        // Two rows, both restricted to the same single column.
+        let mut sparse = SparseCost::new(2);
+        sparse.push_row(vec![(0, 1.0)]);
+        sparse.push_row(vec![(0, 2.0)]);
+        let cfg = AuctionConfig {
+            max_bids: 10_000,
+            ..AuctionConfig::default()
+        };
+        assert!(AuctionSolver::solve(&sparse, &cfg).is_err());
+    }
+
+    #[test]
+    fn resolve_rows_repairs_after_perturbation() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let n = 8;
+        let m = 10;
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..m).map(|_| rng.gen_range(0.0..10.0)).collect())
+            .collect();
+        let mut sparse = SparseCost::from_dense(&cost);
+        let mut s = AuctionSolver::solve(&sparse, &AuctionConfig::default()).unwrap();
+        // Perturb two rows' costs and repair only those rows.
+        let touched = [1usize, 5];
+        let mut new_cost = cost.clone();
+        for &i in &touched {
+            for c in new_cost[i].iter_mut().take(m) {
+                *c = rng.gen_range(0.0..10.0);
+            }
+            sparse.set_row(
+                i,
+                new_cost[i]
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &c)| (j, c))
+                    .collect(),
+            );
+        }
+        s.resolve_rows(&sparse, &touched).unwrap();
+        let (_, opt) = hungarian_min_cost(&new_cost);
+        let total = s.total_cost(&sparse);
+        assert!(
+            total <= opt + s.optimality_gap_bound() + 1e-9,
+            "repaired {total} vs optimal {opt}"
+        );
+        // Matching is still injective and complete.
+        let mut cols = s.assignment().to_vec();
+        assert!(cols.iter().all(|&j| j != UNASSIGNED));
+        cols.sort_unstable();
+        cols.dedup();
+        assert_eq!(cols.len(), n);
+    }
+
+    #[test]
+    fn resolve_with_no_rows_is_a_no_op() {
+        let cost = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let sparse = SparseCost::from_dense(&cost);
+        let mut s = AuctionSolver::solve(&sparse, &AuctionConfig::default()).unwrap();
+        let before = s.assignment().to_vec();
+        let bids = s.resolve_rows(&sparse, &[]).unwrap();
+        assert_eq!(bids, 0);
+        assert_eq!(s.assignment(), &before[..]);
+    }
+
+    #[test]
+    fn empty_instance_is_ok() {
+        let sparse = SparseCost::new(3);
+        let s = AuctionSolver::solve(&sparse, &AuctionConfig::default()).unwrap();
+        assert!(s.assignment().is_empty());
+    }
+}

@@ -42,11 +42,21 @@ impl std::fmt::Display for GroupingError {
 
 impl std::error::Error for GroupingError {}
 
+/// Stream count at and above which [`group_streams`] switches from the
+/// direct sequential first-fit to the sharded path — small (paper-scale)
+/// instances keep the original code path untouched.
+pub const SHARD_GROUPING_THRESHOLD: usize = 64;
+
 /// Run Algorithm 1's grouping phase (lines 1-19): partition `streams`
 /// into at most `n_servers` groups, each satisfying Theorem 3.
 ///
 /// Returns the groups as vectors of indices into `streams`. Groups may
 /// be fewer than `n_servers`; empty groups are not returned.
+///
+/// Below [`SHARD_GROUPING_THRESHOLD`] streams this runs the direct
+/// sequential first-fit; at or above it, the gcd-compatibility-sharded
+/// variant ([`group_streams_sharded`]) — the two produce identical
+/// output, so the dispatch is purely a performance decision.
 ///
 /// ```
 /// use eva_sched::{group_streams, StreamId, StreamTiming};
@@ -60,6 +70,20 @@ impl std::error::Error for GroupingError {}
 /// assert_eq!(groups.len(), 2);
 /// ```
 pub fn group_streams(
+    streams: &[StreamTiming],
+    n_servers: usize,
+) -> Result<Vec<Vec<usize>>, GroupingError> {
+    if streams.len() >= SHARD_GROUPING_THRESHOLD {
+        group_streams_sharded(streams, n_servers)
+    } else {
+        group_streams_sequential(streams, n_servers)
+    }
+}
+
+/// The original direct implementation of Algorithm 1's grouping:
+/// quadratic priority counting and linear-scan first-fit. Kept as the
+/// reference oracle the sharded path is property-tested against.
+pub fn group_streams_sequential(
     streams: &[StreamTiming],
     n_servers: usize,
 ) -> Result<Vec<Vec<usize>>, GroupingError> {
@@ -153,6 +177,223 @@ fn group_accepts(streams: &[StreamTiming], group: &[usize], candidate: StreamTim
     // (b) processing budget within the union minimum period.
     let total: Ticks = group.iter().map(|&i| streams[i].proc).sum::<Ticks>() + candidate.proc;
     total <= t_min
+}
+
+fn gcd_ticks(mut a: Ticks, mut b: Ticks) -> Ticks {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// A group under construction in the sharded first-fit, carrying the
+/// cached invariants that make the Theorem-3 admission check O(1):
+///
+/// * `t_min` — minimum member period,
+/// * `gcd` — gcd of member periods (all members divisible by `t` iff
+///   `gcd % t == 0`),
+/// * `proc_sum` — total member processing time.
+///
+/// `first_pos` is the position (in the global priority order) of the
+/// member that created the group; the sequential algorithm creates
+/// groups in exactly that order, so sorting merged shard groups by
+/// `first_pos` reconstructs the sequential output.
+struct GroupAcc {
+    members: Vec<usize>,
+    first_pos: usize,
+    t_min: Ticks,
+    gcd: Ticks,
+    proc_sum: Ticks,
+}
+
+/// First-fit over one shard's streams, given as `(final_pos, index)`
+/// pairs in global priority order. Equivalent to the sequential loop
+/// restricted to this shard (cross-shard admissions are impossible —
+/// see [`group_streams_sharded`]).
+fn shard_first_fit(streams: &[StreamTiming], shard: &[(usize, usize)]) -> Vec<GroupAcc> {
+    let mut groups: Vec<GroupAcc> = Vec::new();
+    for &(pos, i) in shard {
+        let s = streams[i];
+        let mut placed = false;
+        for g in groups.iter_mut() {
+            // O(1) equivalent of `group_accepts`: harmonicity of the
+            // union w.r.t. its minimum period reduces to two
+            // divisibility checks on the cached gcd and minimum.
+            let t_min_new = g.t_min.min(s.period);
+            if s.period.is_multiple_of(t_min_new)
+                && g.gcd.is_multiple_of(t_min_new)
+                && g.proc_sum + s.proc <= t_min_new
+            {
+                g.members.push(i);
+                g.t_min = t_min_new;
+                g.gcd = gcd_ticks(g.gcd, s.period);
+                g.proc_sum += s.proc;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            groups.push(GroupAcc {
+                members: vec![i],
+                first_pos: pos,
+                t_min: s.period,
+                gcd: s.period,
+                proc_sum: s.proc,
+            });
+        }
+    }
+    groups
+}
+
+/// Sharded Algorithm-1 grouping: identical output to
+/// [`group_streams_sequential`], built scalably.
+///
+/// Two streams can share a group only if some common member period
+/// divides both of theirs, so the *distinct period values*, connected by
+/// divisibility, partition the streams into independent shards: the
+/// Theorem-3 union check can never admit a candidate into a group from
+/// another component (the union's minimum period would be a common
+/// divisor linking the components). Within a shard, first-fit over the
+/// restriction of the global priority order makes exactly the decisions
+/// the sequential pass makes, because foreign groups always reject.
+/// Shards run in parallel (rayon) and their groups are merged back in
+/// sequential creation order via each group's first-member position.
+///
+/// Priorities are computed per distinct period value (`O(D² + M)`
+/// instead of `O(M²)` for `D` distinct values), and the admission check
+/// is O(1) via cached per-group `(min period, gcd, processing sum)`.
+pub fn group_streams_sharded(
+    streams: &[StreamTiming],
+    n_servers: usize,
+) -> Result<Vec<Vec<usize>>, GroupingError> {
+    use rayon::prelude::*;
+
+    if streams.is_empty() {
+        return Ok(Vec::new());
+    }
+    let m = streams.len();
+    // Global (period, index) order — line 1 of Algorithm 1.
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by_key(|&i| (streams[i].period, i));
+
+    // Distinct period values ascending, aligned with `order`.
+    let mut values: Vec<Ticks> = Vec::new();
+    let mut vi_of_pos: Vec<usize> = Vec::with_capacity(m);
+    for &i in &order {
+        if values.last() != Some(&streams[i].period) {
+            values.push(streams[i].period);
+        }
+        vi_of_pos.push(values.len() - 1);
+    }
+    let d = values.len();
+    let mut count = vec![0usize; d];
+    for &vi in &vi_of_pos {
+        count[vi] += 1;
+    }
+
+    // Priority I_i = #{ j earlier in order : T_i % T_j == 0 }: earlier
+    // strictly-smaller divisors contribute their full class counts,
+    // equal periods contribute the within-class rank.
+    let mut divisor_sum = vec![0usize; d];
+    for vi in 0..d {
+        for w in 0..vi {
+            if values[vi].is_multiple_of(values[w]) {
+                divisor_sum[vi] += count[w];
+            }
+        }
+    }
+    let mut rank = vec![0usize; d];
+    let mut priorities = vec![0usize; m];
+    for pos in 0..m {
+        let vi = vi_of_pos[pos];
+        priorities[pos] = divisor_sum[vi] + rank[vi];
+        rank[vi] += 1;
+    }
+
+    // Line 3: stable re-sort by priority.
+    let mut final_pos: Vec<usize> = (0..m).collect();
+    final_pos.sort_by_key(|&pos| (priorities[pos], pos));
+
+    // Union-find over distinct period values by divisibility.
+    let mut parent: Vec<usize> = (0..d).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for a in 0..d {
+        for b in (a + 1)..d {
+            if values[b].is_multiple_of(values[a]) {
+                let ra = find(&mut parent, a);
+                let rb = find(&mut parent, b);
+                if ra != rb {
+                    parent[rb] = ra;
+                }
+            }
+        }
+    }
+    let comp_of_value: Vec<usize> = (0..d).map(|v| find(&mut parent, v)).collect();
+    let mut shard_of_comp = vec![usize::MAX; d];
+    let mut n_shards = 0usize;
+    for &c in &comp_of_value {
+        if shard_of_comp[c] == usize::MAX {
+            shard_of_comp[c] = n_shards;
+            n_shards += 1;
+        }
+    }
+
+    // Distribute streams (in final priority order) to their shards.
+    let mut shards: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_shards];
+    for (fp, &pos) in final_pos.iter().enumerate() {
+        let shard = shard_of_comp[comp_of_value[vi_of_pos[pos]]];
+        shards[shard].push((fp, order[pos]));
+    }
+
+    let shard_groups: Vec<Vec<GroupAcc>> = shards
+        .par_iter()
+        .map(|shard| shard_first_fit(streams, shard))
+        .collect();
+    let mut all: Vec<GroupAcc> = shard_groups.into_iter().flatten().collect();
+    all.sort_by_key(|g| g.first_pos);
+
+    // Error semantics identical to the sequential pass: it errors at the
+    // first priority-order position where either a stream is infeasible
+    // (proc > period) or a new group would exceed `n_servers`; group
+    // counts before any such position are unaffected by later streams.
+    let first_infeasible = final_pos.iter().enumerate().find_map(|(fp, &pos)| {
+        let s = streams[order[pos]];
+        (s.proc > s.period).then_some((fp, s))
+    });
+    if let Some((fi, s)) = first_infeasible {
+        let groups_before = all.iter().filter(|g| g.first_pos < fi).count();
+        if groups_before > n_servers {
+            return Err(GroupingError::NotEnoughServers {
+                needed_at_least: n_servers,
+                available: n_servers,
+            });
+        }
+        return Err(GroupingError::StreamInfeasible {
+            source: s.id.source,
+            part: s.id.part,
+        });
+    }
+    if all.len() > n_servers {
+        return Err(GroupingError::NotEnoughServers {
+            needed_at_least: n_servers,
+            available: n_servers,
+        });
+    }
+
+    let groups: Vec<Vec<usize>> = all.into_iter().map(|g| g.members).collect();
+    debug_assert!(groups.iter().all(|g| {
+        let members: Vec<StreamTiming> = g.iter().map(|&i| streams[i]).collect();
+        theorem3_group_ok(&members)
+    }));
+    Ok(groups)
 }
 
 #[cfg(test)]
@@ -266,6 +507,65 @@ mod tests {
         }
         // The 70/140 pair is harmonic and fits (60 <= 70): expect 2 groups.
         assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn sharded_matches_sequential_on_mixed_period_classes() {
+        // Three divisibility components (100ms-family, 70ms-family, 90ms)
+        // with repeats and budget pressure.
+        let periods: [Ticks; 12] = [
+            100_000, 200_000, 50_000, 400_000, 70_000, 140_000, 280_000, 90_000, 100_000, 70_000,
+            200_000, 50_000,
+        ];
+        let streams: Vec<StreamTiming> = periods
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| st(i, p, 20_000))
+            .collect();
+        for n_servers in 1..=8 {
+            let seq = group_streams_sequential(&streams, n_servers);
+            let sharded = group_streams_sharded(&streams, n_servers);
+            assert_eq!(seq, sharded, "n_servers = {n_servers}");
+        }
+    }
+
+    #[test]
+    fn sharded_matches_sequential_on_random_instances() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31337);
+        let bases: [Ticks; 4] = [50_000, 70_000, 90_000, 110_000];
+        for trial in 0..50 {
+            let n = rng.gen_range(1..=40);
+            let streams: Vec<StreamTiming> = (0..n)
+                .map(|i| {
+                    let base = bases[rng.gen_range(0..bases.len())];
+                    let period = base * (1 << rng.gen_range(0..3u32));
+                    let proc = rng.gen_range(5_000..=period.min(60_000));
+                    st(i, period, proc)
+                })
+                .collect();
+            let n_servers = rng.gen_range(0..=n + 2);
+            let seq = group_streams_sequential(&streams, n_servers);
+            let sharded = group_streams_sharded(&streams, n_servers);
+            assert_eq!(seq, sharded, "trial {trial}, n_servers {n_servers}");
+        }
+    }
+
+    #[test]
+    fn dispatch_threshold_paths_agree() {
+        // Build an instance just above the threshold and check the
+        // public entry point (sharded) against the sequential oracle.
+        let streams: Vec<StreamTiming> = (0..SHARD_GROUPING_THRESHOLD + 8)
+            .map(|i| {
+                let period = [50_000u64, 100_000, 70_000, 140_000][i % 4];
+                st(i, period, 10_000 + (i as Ticks % 7) * 1_000)
+            })
+            .collect();
+        let n_servers = streams.len();
+        assert_eq!(
+            group_streams(&streams, n_servers),
+            group_streams_sequential(&streams, n_servers)
+        );
     }
 
     /// Deterministic: same input, same grouping.

@@ -21,6 +21,7 @@
 //! statements.
 
 pub mod assign;
+pub mod auction;
 pub mod group;
 pub mod hungarian;
 pub mod oracle;
@@ -29,9 +30,14 @@ pub mod theory;
 
 pub use assign::{
     assign_groups_to_servers, assign_groups_to_surviving_servers,
-    assign_groups_to_surviving_servers_recorded, Assignment,
+    assign_groups_to_surviving_servers_recorded, assign_groups_with_strategy_recorded,
+    AssignStrategy, Assignment,
 };
-pub use group::{group_streams, GroupingError};
+pub use auction::{AuctionConfig, AuctionError, AuctionSolver, SparseCost, UNASSIGNED};
+pub use group::{
+    group_streams, group_streams_sequential, group_streams_sharded, GroupingError,
+    SHARD_GROUPING_THRESHOLD,
+};
 pub use hungarian::hungarian_min_cost;
 pub use stream::{split_high_rate, StreamId, StreamTiming, Ticks, TICKS_PER_SEC};
 pub use theory::{const1_utilization_ok, const2_zero_jitter_ok, theorem3_group_ok};

@@ -2,7 +2,8 @@
 
 use eva_sched::{
     assign_groups_to_servers, const1_utilization_ok, const2_zero_jitter_ok, group_streams,
-    hungarian_min_cost, split_high_rate, StreamId, StreamTiming,
+    group_streams_sequential, group_streams_sharded, hungarian_min_cost, split_high_rate,
+    AuctionConfig, AuctionSolver, SparseCost, StreamId, StreamTiming, UNASSIGNED,
 };
 use proptest::prelude::*;
 
@@ -107,5 +108,109 @@ proptest! {
     fn stream_strategy_is_wellformed(s in stream_strategy(0)) {
         prop_assert!(s.period > 0 && s.proc > 0);
         prop_assert!(s.utilization() <= 1.0 + 1e-12);
+    }
+
+    /// Auction assignment on random dense instances: total cost within
+    /// the advertised additive gap (≈ (1+ε)·optimal) of the Hungarian
+    /// optimum, and the matching is a full injection.
+    #[test]
+    fn auction_within_gap_of_hungarian(seed in 0u64..500, n in 1usize..12) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = n + rng.gen_range(0..4);
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..m).map(|_| rng.gen_range(0.0..10.0)).collect())
+            .collect();
+        let (_, opt) = hungarian_min_cost(&cost);
+        let sparse = SparseCost::from_dense(&cost);
+        let solver = AuctionSolver::solve(&sparse, &AuctionConfig::default()).unwrap();
+        let total = solver.total_cost(&sparse);
+        prop_assert!(
+            total <= opt + solver.optimality_gap_bound() + 1e-9,
+            "auction {} vs hungarian {}", total, opt
+        );
+        let mut cols = solver.assignment().to_vec();
+        prop_assert!(cols.iter().all(|&j| j != UNASSIGNED && j < m));
+        cols.sort_unstable();
+        cols.dedup();
+        prop_assert_eq!(cols.len(), n);
+    }
+
+    /// Incremental re-assignment: perturb a subset of rows, re-solve only
+    /// those rows, and the repaired matching is equivalent to a
+    /// from-scratch solve — both within the solver's gap bound of the
+    /// Hungarian optimum on the perturbed instance.
+    #[test]
+    fn incremental_resolve_equivalent_to_scratch(
+        seed in 0u64..500,
+        n in 2usize..10,
+        n_touch in 1usize..4,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
+        let m = n + rng.gen_range(0..3);
+        let mut cost: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..m).map(|_| rng.gen_range(0.0..10.0)).collect())
+            .collect();
+        let mut sparse = SparseCost::from_dense(&cost);
+        let mut solver = AuctionSolver::solve(&sparse, &AuctionConfig::default()).unwrap();
+        // Perturb up to n_touch distinct rows.
+        let mut touched: Vec<usize> = (0..n_touch.min(n)).map(|_| rng.gen_range(0..n)).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for &i in &touched {
+            for c in cost[i].iter_mut().take(m) {
+                *c = rng.gen_range(0.0..10.0);
+            }
+            sparse.set_row(i, cost[i].iter().enumerate().map(|(j, &c)| (j, c)).collect());
+        }
+        solver.resolve_rows(&sparse, &touched).unwrap();
+        let scratch = AuctionSolver::solve(&sparse, &AuctionConfig::default()).unwrap();
+        let (_, opt) = hungarian_min_cost(&cost);
+        let inc_total = solver.total_cost(&sparse);
+        let scr_total = scratch.total_cost(&sparse);
+        prop_assert!(
+            inc_total <= opt + solver.optimality_gap_bound() + 1e-9,
+            "incremental {} vs optimal {}", inc_total, opt
+        );
+        prop_assert!(
+            scr_total <= opt + scratch.optimality_gap_bound() + 1e-9,
+            "scratch {} vs optimal {}", scr_total, opt
+        );
+        // Equivalence: both land within the same gap of each other.
+        let gap = solver.optimality_gap_bound() + scratch.optimality_gap_bound() + 1e-9;
+        prop_assert!((inc_total - scr_total).abs() <= gap);
+        // Repaired matching is a full injection.
+        let mut cols = solver.assignment().to_vec();
+        prop_assert!(cols.iter().all(|&j| j != UNASSIGNED && j < m));
+        cols.sort_unstable();
+        cols.dedup();
+        prop_assert_eq!(cols.len(), n);
+    }
+
+    /// Sharded grouping is exactly equivalent to the sequential pass on
+    /// mixed gcd-compatible period classes (including error cases).
+    #[test]
+    fn sharded_grouping_equals_sequential(
+        raw in proptest::collection::vec((0usize..4, 0u32..3, 5_000u64..=60_000), 1..=48),
+        n_servers in 0usize..50,
+    ) {
+        // Four divisibility families with power-of-two multiples: mixed
+        // period classes with non-trivial sharing inside each family.
+        let bases: [u64; 4] = [50_000, 70_000, 90_000, 110_000];
+        let streams: Vec<StreamTiming> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (family, shift, proc))| {
+                let period = bases[family] << shift;
+                StreamTiming::new(StreamId::source(i), period, proc.min(period))
+            })
+            .collect();
+        let seq = group_streams_sequential(&streams, n_servers);
+        let sharded = group_streams_sharded(&streams, n_servers);
+        prop_assert_eq!(&seq, &sharded);
+        // The public dispatcher agrees with both on either side of the
+        // size threshold.
+        prop_assert_eq!(&group_streams(&streams, n_servers), &seq);
     }
 }

@@ -27,8 +27,8 @@
 
 use eva_obs::{span, Phase, Recorder};
 use eva_sched::{
-    const2_zero_jitter_ok, split_high_rate, Assignment, GroupingError, StreamId, StreamTiming,
-    Ticks,
+    const2_zero_jitter_ok, split_high_rate, Assignment, AuctionConfig, AuctionSolver,
+    GroupingError, SparseCost, StreamId, StreamTiming, Ticks, UNASSIGNED,
 };
 use eva_workload::{Scenario, VideoConfig};
 
@@ -98,6 +98,10 @@ pub struct Rescheduler {
     groups: Vec<Vec<StreamTiming>>,
     /// Server hosting each group (parallel to `groups`; distinct).
     group_server: Vec<usize>,
+    /// Persisted auction prices per server: the dual state that lets
+    /// [`reprice`](Self::reprice) re-bid only the touched assignment
+    /// rows after an incremental repair.
+    prices: Vec<f64>,
     stats: ReplanStats,
 }
 
@@ -153,10 +157,19 @@ impl Rescheduler {
             ReplanTrigger::Arrival { camera } => self.repair_arrival(scenario, configs, camera),
             ReplanTrigger::Departure { camera } => Some(self.repair_departure(camera)),
             ReplanTrigger::ServerFailure { server } => self.repair_failure(scenario, server, alive),
-            ReplanTrigger::ServerRestore { .. } => Some(0),
+            ReplanTrigger::ServerRestore { .. } => Some((0, Vec::new())),
         };
-        if let Some(rows) = repaired {
+        if let Some((rows, touched)) = repaired {
             if self.verify(scenario, configs, alive) {
+                if !touched.is_empty() {
+                    // Auction repricing: re-bid only the rows the repair
+                    // touched (costs changed), letting displacement
+                    // cascades recover communication latency the greedy
+                    // repair left on the table. A zero-touched repair
+                    // (restore) changes nothing.
+                    self.reprice(scenario, configs, alive, &touched, rec);
+                    debug_assert!(self.verify(scenario, configs, alive));
+                }
                 self.stats.incremental += 1;
                 if rec.enabled() {
                     rec.add("serve.replan_incremental", 1);
@@ -186,13 +199,14 @@ impl Rescheduler {
         }
     }
 
-    /// The newcomer's split streams, packed greedily.
+    /// The newcomer's split streams, packed greedily. Returns the
+    /// repaired row count plus the touched group indices.
     fn repair_arrival(
         &mut self,
         scenario: &Scenario,
         configs: &[VideoConfig],
         camera: usize,
-    ) -> Option<usize> {
+    ) -> Option<(usize, Vec<usize>)> {
         if camera >= configs.len() {
             return None;
         }
@@ -240,17 +254,21 @@ impl Rescheduler {
         }
         touched.sort_unstable();
         touched.dedup();
-        Some(touched.len())
+        Some((touched.len(), touched))
     }
 
     /// Remove a departed camera's streams and renumber later sources.
-    fn repair_departure(&mut self, camera: usize) -> usize {
-        let mut touched = 0usize;
+    /// Returns the repaired row count (groups that lost members, as
+    /// reported in [`ReplanScope`]) plus the surviving touched indices.
+    fn repair_departure(&mut self, camera: usize) -> (usize, Vec<usize>) {
+        let mut rows = 0usize;
+        let mut touched_flag: Vec<bool> = Vec::with_capacity(self.groups.len());
         for g in &mut self.groups {
             let before = g.len();
             g.retain(|s| s.id.source != camera);
+            touched_flag.push(g.len() != before);
             if g.len() != before {
-                touched += 1;
+                rows += 1;
             }
             for s in g.iter_mut() {
                 if s.id.source > camera {
@@ -258,38 +276,46 @@ impl Rescheduler {
                 }
             }
         }
-        // Drop emptied groups (and their server slots).
-        let mut gi = 0;
-        while gi < self.groups.len() {
-            if self.groups[gi].is_empty() {
-                self.groups.remove(gi);
-                self.group_server.remove(gi);
-            } else {
-                gi += 1;
+        // Drop emptied groups (and their server slots), remapping the
+        // touched indices onto the compacted group list.
+        let old_groups = std::mem::take(&mut self.groups);
+        let old_servers = std::mem::take(&mut self.group_server);
+        let mut touched = Vec::new();
+        for ((g, flag), server) in old_groups.into_iter().zip(touched_flag).zip(old_servers) {
+            if g.is_empty() {
+                continue;
             }
+            if flag {
+                touched.push(self.groups.len());
+            }
+            self.groups.push(g);
+            self.group_server.push(server);
         }
-        touched
+        (rows, touched)
     }
 
-    /// Rehome or dissolve the failed server's group.
+    /// Rehome or dissolve the failed server's group. Returns the
+    /// repaired row count plus the touched group indices.
     fn repair_failure(
         &mut self,
         scenario: &Scenario,
         server: usize,
         alive: Option<&[bool]>,
-    ) -> Option<usize> {
+    ) -> Option<(usize, Vec<usize>)> {
         let orphans: Vec<usize> = (0..self.groups.len())
             .filter(|&g| self.group_server[g] == server)
             .collect();
         if orphans.is_empty() {
-            return Some(0);
+            return Some((0, Vec::new()));
         }
         let mut touched = 0usize;
+        let mut touched_idx: Vec<usize> = Vec::new();
         // Hungarian gives one group per server, but handle any count.
         for &g in orphans.iter().rev() {
             if let Some(free) = self.best_free_server_excluding(scenario, alive, server) {
                 self.group_server[g] = free;
                 touched += 1;
+                touched_idx.push(g);
                 continue;
             }
             // No free survivor: distribute the members into other groups.
@@ -327,12 +353,85 @@ impl Rescheduler {
             for (h, s) in placed {
                 self.groups[h].push(s);
                 touched += 1;
+                touched_idx.push(h);
             }
             self.groups.remove(g);
             self.group_server.remove(g);
             touched += 1;
+            // The removal shifts every later group down by one.
+            for t in &mut touched_idx {
+                if *t > g {
+                    *t -= 1;
+                }
+            }
         }
-        Some(touched)
+        touched_idx.sort_unstable();
+        touched_idx.dedup();
+        Some((touched, touched_idx))
+    }
+
+    /// Re-bid only the `touched` assignment rows through the ε-scaling
+    /// auction, warm-started from the installed matching and the
+    /// persisted per-server prices. Displacement cascades may move
+    /// untouched groups too — that is the point: the greedy repair
+    /// optimizes locally, the auction recovers global communication
+    /// latency. Adopted only when the re-bid lands every group on a
+    /// server; otherwise the (already verified) greedy repair stands.
+    fn reprice(
+        &mut self,
+        scenario: &Scenario,
+        configs: &[VideoConfig],
+        alive: Option<&[bool]>,
+        touched: &[usize],
+        rec: &dyn Recorder,
+    ) {
+        let n_servers = scenario.n_servers();
+        let uplinks = scenario.planning_uplinks();
+        let mut sparse = SparseCost::new(n_servers);
+        for members in &self.groups {
+            let bits: f64 = members
+                .iter()
+                .map(|s| {
+                    scenario
+                        .surfaces(s.id.source)
+                        .bits_per_frame(configs[s.id.source].resolution)
+                })
+                .sum();
+            let arcs: Vec<(usize, f64)> = (0..n_servers)
+                .filter(|&j| is_alive(alive, j))
+                .map(|j| (j, bits / uplinks[j]))
+                .collect();
+            sparse.push_row(arcs);
+        }
+        if self.prices.len() != n_servers {
+            self.prices = vec![0.0; n_servers];
+        }
+        let mut solver = AuctionSolver::from_matching(
+            &sparse,
+            &self.group_server,
+            self.prices.clone(),
+            &AuctionConfig::default(),
+        );
+        if rec.enabled() {
+            rec.add("serve.reprice_runs", 1);
+        }
+        if solver.resolve_rows(&sparse, touched).is_err() {
+            return;
+        }
+        let assignment = solver.assignment();
+        if assignment.contains(&UNASSIGNED) {
+            return;
+        }
+        let moves = assignment
+            .iter()
+            .zip(&self.group_server)
+            .filter(|(a, b)| a != b)
+            .count();
+        if rec.enabled() && moves > 0 {
+            rec.add("serve.reprice_moves", moves as u64);
+        }
+        self.group_server = assignment.to_vec();
+        self.prices = solver.prices().to_vec();
     }
 
     /// Fastest (planning-uplink) surviving server hosting no group.
@@ -637,6 +736,55 @@ mod tests {
             assert_eq!(set0, set1, "server {server}");
         }
         assert!((a1.total_comm_latency - a0.total_comm_latency).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reprice_improves_touched_rows_via_cascade() {
+        let base = Scenario::uniform(3, 3, 20e6, 23);
+        let uplinks = vec![5e6, 30e6, 15e6];
+        let clips: Vec<_> = (0..3).map(|i| base.clip(i).clone()).collect();
+        let sc3 = Scenario::new(clips.clone(), uplinks.clone(), base.config_space().clone());
+        // Camera 0 runs heavy at a period non-harmonic with the light
+        // pair, so it always forms its own group.
+        let cfgs3 = vec![
+            VideoConfig::new(1080.0, 7.0),
+            VideoConfig::new(480.0, 5.0),
+            VideoConfig::new(480.0, 5.0),
+        ];
+        let parts = split_high_rate(&sc3.stream_timings(&cfgs3));
+        let heavy: Vec<StreamTiming> = parts.iter().copied().filter(|s| s.id.source == 0).collect();
+        let light: Vec<StreamTiming> = parts.iter().copied().filter(|s| s.id.source != 0).collect();
+        assert!(!heavy.is_empty() && !light.is_empty());
+        // Hand-install a deliberately poor placement: the light pair on
+        // the slowest server, heavy on the middle one; the fastest
+        // server (30 Mbps) sits idle.
+        let mut r = Rescheduler::new();
+        r.groups = vec![light, heavy];
+        r.group_server = vec![0, 2];
+        // Camera 2 departs: the light group is the touched row.
+        let sc2 = Scenario::new(clips[..2].to_vec(), uplinks, base.config_space().clone());
+        let cfgs2 = cfgs3[..2].to_vec();
+        let (a, scope) = r
+            .replan(
+                &sc2,
+                &cfgs2,
+                None,
+                ReplanTrigger::Departure { camera: 2 },
+                &NoopRecorder,
+            )
+            .expect("departure repair");
+        assert!(matches!(scope, ReplanScope::Incremental { .. }));
+        // Repricing moves the touched light group onto the idle fast
+        // server; the untouched heavy group stays put. Without the
+        // auction pass the light group would stay on the 5 Mbps server.
+        for (g, &server) in a.group_server.iter().enumerate() {
+            let source = a.streams[a.groups[g][0]].id.source;
+            if source == 1 {
+                assert_eq!(server, 1, "light group should move to the 30 Mbps server");
+            } else {
+                assert_eq!(server, 2, "heavy group stays put");
+            }
+        }
     }
 
     #[test]

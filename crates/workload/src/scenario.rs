@@ -9,7 +9,8 @@ use eva_fault::FaultPlan;
 use eva_net::LinkModel;
 use eva_obs::{NoopRecorder, Recorder};
 use eva_sched::{
-    assign_groups_to_surviving_servers_recorded, Assignment, GroupingError, StreamId, StreamTiming,
+    assign_groups_with_strategy_recorded, AssignStrategy, Assignment, GroupingError, StreamId,
+    StreamTiming,
 };
 use rand::Rng;
 
@@ -41,6 +42,10 @@ pub struct Scenario {
     /// Optional fault plan (server crash/recovery, camera dropout,
     /// frame loss, stragglers). `None` = nothing ever fails.
     faults: Option<FaultPlan>,
+    /// How Algorithm-1 group→server assignment is solved. The default
+    /// `Auto` keeps small instances on the bit-exact Hungarian path and
+    /// switches to the sparse ε-scaling auction at scale.
+    assign_strategy: AssignStrategy,
 }
 
 /// Result of evaluating a joint configuration on a scenario.
@@ -69,7 +74,23 @@ impl Scenario {
             links: None,
             planning_bps: None,
             faults: None,
+            assign_strategy: AssignStrategy::Auto,
         }
+    }
+
+    /// Override how group→server assignment is solved (see
+    /// [`AssignStrategy`]). `Auto` (the default) is bit-identical to
+    /// the historical Hungarian path on small instances and switches to
+    /// the sparse auction at scale; forcing `Hungarian` or `Auction`
+    /// pins one solver for comparisons and experiments.
+    pub fn with_assign_strategy(mut self, strategy: AssignStrategy) -> Self {
+        self.assign_strategy = strategy;
+        self
+    }
+
+    /// The configured assignment strategy.
+    pub fn assign_strategy(&self) -> AssignStrategy {
+        self.assign_strategy
     }
 
     /// Attach per-camera time-varying link models (one per camera).
@@ -262,11 +283,12 @@ impl Scenario {
             .enumerate()
             .map(|(i, c)| self.surfaces[i].bits_per_frame(c.resolution))
             .collect();
-        assign_groups_to_surviving_servers_recorded(
+        assign_groups_with_strategy_recorded(
             &timings,
             &bits,
             self.planning_uplinks(),
             alive,
+            self.assign_strategy,
             rec,
         )
     }
@@ -347,9 +369,15 @@ impl Scenario {
         let n = self.n_videos() as f64;
         let mut mins = [f64::INFINITY; crate::outcome::N_OBJECTIVES];
         let mut maxs = [f64::NEG_INFINITY; crate::outcome::N_OBJECTIVES];
+        // Only distinct uplink values shift the extremes; at scale the
+        // server list is thousands long but drawn from a handful of
+        // pool values.
+        let mut distinct_uplinks = self.uplink_bps.clone();
+        distinct_uplinks.sort_by(f64::total_cmp);
+        distinct_uplinks.dedup();
         for i in 0..self.n_videos() {
             for c in self.space.iter() {
-                for &b in &self.uplink_bps {
+                for &b in &distinct_uplinks {
                     let cost = self.evaluate_stream(i, &c, b).to_cost_vec();
                     for d in 0..cost.len() {
                         mins[d] = mins[d].min(cost[d]);
@@ -593,6 +621,37 @@ mod tests {
         let alive = vec![true, false, true];
         let out = sc.evaluate_surviving(&cfgs, Some(&alive)).unwrap();
         assert!(out.assignment.server_of.iter().all(|&s| s != 1));
+    }
+
+    #[test]
+    fn assign_strategy_override_keeps_placement_feasible() {
+        use eva_sched::AssignStrategy;
+        assert_eq!(small_scenario().assign_strategy(), AssignStrategy::Auto);
+        let sc = small_scenario().with_assign_strategy(AssignStrategy::Auction { top_k: 2 });
+        assert_eq!(sc.assign_strategy(), AssignStrategy::Auction { top_k: 2 });
+        let cfgs = low_config(4);
+        let auction = sc.evaluate(&cfgs).unwrap();
+        for server in 0..sc.n_servers() {
+            let members: Vec<StreamTiming> = auction
+                .assignment
+                .streams_on(server)
+                .into_iter()
+                .map(|i| auction.assignment.streams[i])
+                .collect();
+            assert!(const2_zero_jitter_ok(&members));
+        }
+        // On a uniform-uplink scenario every placement has the same
+        // communication cost, so realized outcomes agree exactly.
+        let hungarian = small_scenario()
+            .with_assign_strategy(AssignStrategy::Hungarian)
+            .evaluate(&cfgs)
+            .unwrap();
+        assert!(
+            (auction.outcome.latency_s - hungarian.outcome.latency_s).abs() < 1e-12,
+            "auction {} vs hungarian {}",
+            auction.outcome.latency_s,
+            hungarian.outcome.latency_s
+        );
     }
 
     #[test]
