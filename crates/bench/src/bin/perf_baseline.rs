@@ -16,6 +16,11 @@
 //! * `serve_churn` — the continuous-serving loop under a Poisson
 //!   arrival storm with server crashes (admission probes, incremental
 //!   replans), tracking replan reaction latency,
+//! * `serve_chaos` — the budgeted overload session under a composed
+//!   `ChaosSpec` (churn storm × crashes × link collapse × control
+//!   stragglers) with an enforced decision budget, a tight retry
+//!   queue and age shedding — pins the budgeted-decide, coalesced
+//!   replan and shed phases,
 //! * `scale_m2000` — one oracle decision epoch at fleet scale (2000
 //!   cameras × 200 servers; quick: 240 × 24), pinning the sharded
 //!   grouping, sparse auction assignment and batched posterior paths.
@@ -48,21 +53,24 @@
 use std::time::Instant;
 
 use eva_bo::{AcqKind, BoConfig};
-use eva_fault::{FaultPlan, RetryPolicy};
-use eva_obs::FlightRecorder;
-use eva_serve::ArrivalModel;
+use eva_fault::{
+    ChaosSpec, ChurnStorm, ControlStragglers, CrashBursts, FaultPlan, LinkCollapse, RetryPolicy,
+};
+use eva_obs::{BudgetPolicy, FlightRecorder};
+use eva_serve::{AdmissionConfig, ArrivalModel};
 use eva_sim::{simulate_scenario_with_deadline_recorded, PhasePolicy};
 use eva_stats::rng::seeded;
 use eva_workload::{DriftingScenario, Scenario, VideoConfig};
 use pamo_core::{
-    run_online_faulted_recorded, run_online_recorded, run_serving_recorded, FaultedRunConfig,
-    PamoConfig, PreferenceSource, ServingConfig,
+    run_online_faulted_recorded, run_online_recorded, run_serving_overloaded_recorded,
+    run_serving_recorded, FaultedRunConfig, OverloadConfig, PamoConfig, PreferenceSource,
+    ServingConfig,
 };
 
 /// Schema tag of the emitted file; bump on breaking layout changes.
 const SCHEMA: &str = "eva-obs/perf-baseline/v1";
 /// Phases the suite must exercise for the baseline to be trustworthy.
-const REQUIRED_PHASES: [&str; 8] = [
+const REQUIRED_PHASES: [&str; 9] = [
     "outcome_fit",
     "pref_model",
     "bo_search",
@@ -71,6 +79,7 @@ const REQUIRED_PHASES: [&str; 8] = [
     "des",
     "admission",
     "replan",
+    "shed",
 ];
 
 fn pamo_config(quick: bool, preference: PreferenceSource) -> PamoConfig {
@@ -207,6 +216,87 @@ fn run_workload(name: &str, quick: bool, rec: &FlightRecorder) -> String {
                 run.benefit_per_server()
             )
         }
+        "serve_chaos" => {
+            let n_epochs = if quick { 3 } else { 5 };
+            let base = Scenario::uniform(4, 3, 20e6, 107);
+            let chaos = ChaosSpec {
+                seed: 31,
+                churn_storm: Some(ChurnStorm {
+                    calm_rate_hz: 0.05,
+                    storm_rate_hz: 0.8,
+                    mean_dwell_s: [20.0, 30.0],
+                    mean_hold_s: 60.0,
+                }),
+                crash_bursts: Some(CrashBursts {
+                    mttf_s: 60.0,
+                    mttr_s: 15.0,
+                }),
+                link_collapse: Some(LinkCollapse {
+                    factor: 0.6,
+                    mean_normal_s: 50.0,
+                    mean_collapsed_s: 15.0,
+                }),
+                stragglers: Some(ControlStragglers {
+                    factor: 3.0,
+                    mean_normal_s: 30.0,
+                    mean_slow_s: 25.0,
+                }),
+            };
+            let storm = chaos.churn_storm.expect("chaos has a storm");
+            let serving = ServingConfig {
+                epoch_s: 20.0,
+                n_epochs,
+                event_driven: true,
+                arrivals: ArrivalModel::Mmpp {
+                    rate_hz: [storm.calm_rate_hz, storm.storm_rate_hz],
+                    mean_dwell_s: storm.mean_dwell_s,
+                },
+                mean_hold_s: storm.mean_hold_s,
+                churn_seed: chaos.churn_seed(),
+                admission: AdmissionConfig {
+                    max_live: 2,
+                    queue_capacity: 6,
+                    max_queue_age_s: 15.0,
+                    high_water: 2,
+                    ..AdmissionConfig::default()
+                },
+                ..ServingConfig::default()
+            };
+            let overload = OverloadConfig::budgeted(
+                chaos,
+                BudgetPolicy {
+                    window_units: 300,
+                    full_floor: 120,
+                    repair_floor: 40,
+                    unit_time_s: 0.01,
+                    deadline_s: 3.0,
+                },
+            );
+            let cfg = pamo_config(quick, PreferenceSource::Oracle);
+            let run = run_serving_overloaded_recorded(
+                &base,
+                0.05,
+                &cfg,
+                [1.0, 3.0, 1.0, 1.0, 1.0],
+                &serving,
+                &overload,
+                16,
+                rec,
+            );
+            format!(
+                "4 cams x 3 servers, composed chaos + enforced budget, {n_epochs} epochs, \
+                 {} accepted / {} rejected / {} shed, rungs {}/{}/{}, \
+                 {} coalesced replans, {} overruns",
+                run.accepted,
+                run.rejected,
+                run.shed,
+                run.rung_counts[0],
+                run.rung_counts[1],
+                run.rung_counts[2],
+                run.replan_coalesced,
+                run.budget_overruns
+            )
+        }
         "scale_m2000" => {
             // One decision epoch at fleet scale: 2000 cameras on 200
             // servers (quick: 240 on 24), oracle preference. Exercises
@@ -302,6 +392,7 @@ fn main() {
         "faulted_3x2",
         "des_shared_uplink",
         "serve_churn",
+        "serve_chaos",
         "scale_m2000",
     ];
     println!(

@@ -12,6 +12,7 @@
 //! extension) over a from-scratch refit — the fast path is
 //! property-tested equivalent to the rebuild.
 
+use eva_obs::{cost, DecisionBudget};
 use rand::Rng;
 use rayon::prelude::*;
 
@@ -63,6 +64,10 @@ pub struct BoResult {
     pub iters_run: usize,
     /// Whether the `δ` criterion fired before `max_iters`.
     pub converged: bool,
+    /// Whether a [`DecisionBudget`] exhausted before the loop would
+    /// otherwise have stopped (anytime early-exit: `best_x` is still
+    /// the best observation so far).
+    pub budget_stopped: bool,
 }
 
 /// Maximize a black-box objective over a finite pool.
@@ -73,8 +78,8 @@ pub struct BoResult {
 ///   Algorithm 2's model-update steps (lines 18-19),
 /// * `pool` — the feasible candidate set.
 pub fn bo_maximize<S, FObj, FFit, R>(
-    mut objective: FObj,
-    mut fit: FFit,
+    objective: FObj,
+    fit: FFit,
     pool: &[Vec<f64>],
     cfg: &BoConfig,
     rng: &mut R,
@@ -85,16 +90,59 @@ where
     FFit: FnMut(&[(Vec<f64>, f64)]) -> S,
     R: Rng + ?Sized,
 {
+    bo_maximize_budgeted(objective, fit, pool, cfg, rng, &DecisionBudget::unlimited())
+}
+
+/// [`bo_maximize`] with a deterministic work-unit budget and anytime
+/// early-exit.
+///
+/// Charges (check-before-work, see [`eva_obs::budget`]):
+/// [`cost::OBJ_EVAL`] per objective evaluation, [`cost::GP_FIT`] per
+/// surrogate refit, and [`cost::ACQ_CANDIDATE`] per candidate scanned
+/// in each greedy batch slot. When a charge is refused the loop stops
+/// at the nearest anytime point and returns the best observation so
+/// far with `budget_stopped = true`; the very first objective
+/// evaluation is mandatory (a result needs at least one observation)
+/// and is force-charged, so callers should size budgets to at least
+/// [`cost::OBJ_EVAL`]. With [`DecisionBudget::unlimited`] this is
+/// behavior-identical to [`bo_maximize`].
+pub fn bo_maximize_budgeted<S, FObj, FFit, R>(
+    mut objective: FObj,
+    mut fit: FFit,
+    pool: &[Vec<f64>],
+    cfg: &BoConfig,
+    rng: &mut R,
+    budget: &DecisionBudget,
+) -> BoResult
+where
+    S: SurrogateSampler + Sync,
+    FObj: FnMut(&[f64]) -> f64,
+    FFit: FnMut(&[(Vec<f64>, f64)]) -> S,
+    R: Rng + ?Sized,
+{
     assert!(!pool.is_empty(), "bo_maximize: empty candidate pool");
     assert!(cfg.n_init > 0 && cfg.batch > 0 && cfg.mc_samples > 0);
 
-    // (1) Initial design: distinct random pool points.
+    // (1) Initial design: distinct random pool points. The index draw
+    // happens before any budget check so a budget-truncated run keeps
+    // the same RNG stream prefix as an unbudgeted one.
     let n_init = cfg.n_init.min(pool.len());
     let init_idx = eva_stats::rng::sample_indices(rng, pool.len(), n_init);
-    let mut observations: Vec<(Vec<f64>, f64)> = init_idx
-        .into_iter()
-        .map(|i| (pool[i].clone(), objective(&pool[i])))
-        .collect();
+    let mut budget_stopped = false;
+    let mut observations: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n_init);
+    for (k, i) in init_idx.into_iter().enumerate() {
+        if !budget.try_charge(cost::OBJ_EVAL) {
+            if k == 0 {
+                // A result needs at least one observation; this is the
+                // mandatory floor that can record an overrun.
+                budget.force_charge(cost::OBJ_EVAL);
+            } else {
+                budget_stopped = true;
+                break;
+            }
+        }
+        observations.push((pool[i].clone(), objective(&pool[i])));
+    }
 
     let mut best_trace = vec![best_of(&observations).1];
     let mut z_prev = f64::NEG_INFINITY;
@@ -102,6 +150,13 @@ where
     let mut iters_run = 0;
 
     for _iter in 0..cfg.max_iters {
+        if budget_stopped {
+            break;
+        }
+        if !budget.try_charge(cost::GP_FIT) {
+            budget_stopped = true;
+            break;
+        }
         let surrogate = fit(&observations);
         let incumbent = best_of(&observations).1;
         let crn_seed: u64 = rng.gen();
@@ -127,9 +182,15 @@ where
         let baseline_idx: Vec<usize> = (base_start..pts.len()).collect();
         surrogate.prepare(&pts, cfg.mc_samples, crn_seed);
 
-        // (2) Greedy sequential batch construction.
+        // (2) Greedy sequential batch construction. Each slot scans
+        // the whole pool, so the slot's charge is one ACQ_CANDIDATE
+        // per pool entry, checked before the scan starts.
         let mut selected_idx: Vec<usize> = Vec::with_capacity(cfg.batch);
         for _slot in 0..cfg.batch {
+            if !budget.try_charge(pool.len() as u64 * cost::ACQ_CANDIDATE) {
+                budget_stopped = true;
+                break;
+            }
             let scores: Vec<f64> = (0..pool.len())
                 .collect::<Vec<_>>()
                 .par_iter()
@@ -161,12 +222,19 @@ where
         // (3) Observe the batch (Algorithm 2 line 16).
         let mut z_best_batch = f64::NEG_INFINITY;
         for x in &selected {
+            if !budget.try_charge(cost::OBJ_EVAL) {
+                budget_stopped = true;
+                break;
+            }
             let z = objective(x);
             z_best_batch = z_best_batch.max(z);
             observations.push((x.clone(), z));
         }
         iters_run += 1;
         best_trace.push(best_of(&observations).1);
+        if budget_stopped {
+            break;
+        }
 
         // (4) δ-convergence on the batch best (Algorithm 2 line 21).
         if (z_best_batch - z_prev).abs() < cfg.delta {
@@ -184,6 +252,7 @@ where
         best_trace,
         iters_run,
         converged,
+        budget_stopped,
     }
 }
 
@@ -347,6 +416,106 @@ mod tests {
         let r = bo_maximize(f, gp_fit, &pool, &cfg, &mut seeded(4));
         assert!(r.best_trace.windows(2).all(|w| w[1] >= w[0] - 1e-15));
         assert_eq!(r.best_trace.len(), r.iters_run + 1);
+    }
+
+    #[test]
+    fn unlimited_budget_is_identical_to_unbudgeted() {
+        let f = |x: &[f64]| -(x[0] - 0.3) * (x[0] - 0.3);
+        let pool = grid_pool(31);
+        let cfg = BoConfig {
+            n_init: 5,
+            batch: 2,
+            mc_samples: 32,
+            max_iters: 4,
+            delta: 1e-9,
+            kind: AcqKind::QNei,
+        };
+        let a = bo_maximize(f, gp_fit, &pool, &cfg, &mut seeded(9));
+        let b = bo_maximize_budgeted(
+            f,
+            gp_fit,
+            &pool,
+            &cfg,
+            &mut seeded(9),
+            &DecisionBudget::unlimited(),
+        );
+        assert_eq!(a.best_x, b.best_x);
+        assert_eq!(a.best_value.to_bits(), b.best_value.to_bits());
+        assert_eq!(a.observations.len(), b.observations.len());
+        assert_eq!(a.iters_run, b.iters_run);
+        assert!(!b.budget_stopped);
+    }
+
+    #[test]
+    fn exhausted_budget_early_exits_keeping_best_so_far() {
+        let f = |x: &[f64]| x[0];
+        let pool = grid_pool(21);
+        let cfg = BoConfig {
+            n_init: 4,
+            batch: 2,
+            mc_samples: 32,
+            max_iters: 10,
+            delta: 1e-12,
+            kind: AcqKind::QNei,
+        };
+        // Enough for the initial design plus one refit, then dry.
+        let budget = DecisionBudget::limited(4 * cost::OBJ_EVAL + cost::GP_FIT);
+        let r = bo_maximize_budgeted(f, gp_fit, &pool, &cfg, &mut seeded(6), &budget);
+        assert!(r.budget_stopped);
+        assert!(!r.converged);
+        assert_eq!(r.observations.len(), 4, "only the initial design ran");
+        let init_best = r
+            .observations
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(r.best_value.to_bits(), init_best.to_bits());
+        assert_eq!(budget.overruns(), 0);
+        assert!(budget.spent() <= budget.limit());
+    }
+
+    #[test]
+    fn starved_budget_still_observes_one_point() {
+        let f = |x: &[f64]| x[0];
+        let pool = grid_pool(7);
+        let cfg = BoConfig {
+            n_init: 3,
+            batch: 1,
+            mc_samples: 16,
+            max_iters: 3,
+            delta: 1e-12,
+            kind: AcqKind::QNei,
+        };
+        let budget = DecisionBudget::limited(1); // below even one OBJ_EVAL
+        let r = bo_maximize_budgeted(f, gp_fit, &pool, &cfg, &mut seeded(7), &budget);
+        assert_eq!(r.observations.len(), 1);
+        assert!(r.budget_stopped);
+        assert_eq!(budget.overruns(), 1, "the mandatory floor overran");
+    }
+
+    #[test]
+    fn budget_truncation_is_deterministic() {
+        let f = |x: &[f64]| 1.0 - (x[0] - 0.6).abs();
+        let pool = grid_pool(25);
+        let cfg = BoConfig {
+            n_init: 4,
+            batch: 2,
+            mc_samples: 32,
+            max_iters: 6,
+            delta: 1e-12,
+            kind: AcqKind::QNei,
+        };
+        let run = || {
+            let budget = DecisionBudget::limited(120);
+            let r = bo_maximize_budgeted(f, gp_fit, &pool, &cfg, &mut seeded(8), &budget);
+            (
+                r.best_x,
+                r.best_value.to_bits(),
+                r.observations.len(),
+                budget.spent(),
+            )
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -35,6 +35,12 @@ pub enum CoreError {
         /// Samples per camera actually requested.
         got: usize,
     },
+    /// A control-plane snapshot failed to decode (corrupt JSON or a
+    /// missing/ill-typed field).
+    Snapshot {
+        /// Which part of the snapshot was malformed.
+        context: &'static str,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -52,6 +58,9 @@ impl std::fmt::Display for CoreError {
                     "profiling budget too small: need at least {needed} samples per camera, got {got}"
                 )
             }
+            CoreError::Snapshot { context } => {
+                write!(f, "malformed control-plane snapshot: {context}")
+            }
         }
     }
 }
@@ -64,6 +73,7 @@ impl std::error::Error for CoreError {
             CoreError::Preference(e) => Some(e),
             CoreError::NonFinite { .. } => None,
             CoreError::InsufficientProfiling { .. } => None,
+            CoreError::Snapshot { .. } => None,
         }
     }
 }

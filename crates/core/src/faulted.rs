@@ -330,6 +330,7 @@ pub fn run_online_faulted_recorded<R: Rng + ?Sized>(
             planning_bps: None,
             alive,
             degraded,
+            rung: eva_obs::DecisionRung::Full,
         });
         drifting.advance(rng);
     }

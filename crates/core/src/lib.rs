@@ -26,9 +26,11 @@ pub mod error;
 pub mod faulted;
 pub mod models;
 pub mod online;
+pub mod overload;
 pub mod pamo;
 pub mod pool;
 pub mod serving;
+pub mod snapshot;
 
 pub use benefit::{normalized_benefit, OutcomeNormalizer, TruePreference};
 pub use composite::{CompositeSampler, PreferenceEval};
@@ -39,6 +41,10 @@ pub use online::{
     run_online, run_online_estimated, run_online_estimated_recorded, run_online_recorded,
     EpochRecord, OnlineRun,
 };
+pub use overload::{
+    run_serving_overloaded, run_serving_overloaded_recorded, OverloadConfig, ServingSession,
+};
 pub use pamo::{Pamo, PamoConfig, PamoDecision, PreferenceSource};
 pub use pool::{build_pool, decode_joint, encode_joint};
 pub use serving::{run_serving, run_serving_recorded, ServeEvent, ServingConfig, ServingRun};
+pub use snapshot::{ControlPlaneSnapshot, SnapshotCursor};

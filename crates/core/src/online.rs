@@ -13,7 +13,7 @@
 //! given once and reused across epochs.
 
 use eva_net::LinkEstimator;
-use eva_obs::{emit_warn, span, NoopRecorder, ObsEvent, Phase, Recorder};
+use eva_obs::{emit_warn, span, DecisionRung, NoopRecorder, ObsEvent, Phase, Recorder};
 use eva_workload::{DriftingScenario, Scenario, VideoConfig};
 use rand::Rng;
 
@@ -21,7 +21,7 @@ use crate::benefit::TruePreference;
 use crate::pamo::{Pamo, PamoConfig};
 
 /// Per-epoch record of the online run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpochRecord {
     /// Epoch index (0-based).
     pub epoch: usize,
@@ -43,6 +43,13 @@ pub struct EpochRecord {
     /// Whether this epoch served a degraded decision — a fallback
     /// configuration or a placement on a strict subset of the servers.
     pub degraded: bool,
+    /// The escalation-ladder rung the epoch's decision ran at. Plain
+    /// online runs always run the full pipeline
+    /// ([`DecisionRung::Full`]); budgeted serving runs degrade to
+    /// [`DecisionRung::Repair`] (re-place existing configurations) or
+    /// [`DecisionRung::Stale`] (reuse the deployed plan) when the
+    /// decision budget runs short.
+    pub rung: DecisionRung,
 }
 
 /// Result of an online run.
@@ -153,7 +160,8 @@ pub fn run_online_recorded<R: Rng + ?Sized>(
                             d.true_benefit
                         ),
                     )
-                    .with("epoch", epoch),
+                    .with("epoch", epoch)
+                    .with("rung", DecisionRung::Stale.as_str()),
                 );
                 if rec.enabled() {
                     rec.add("online.epochs_skipped", 1);
@@ -169,7 +177,8 @@ pub fn run_online_recorded<R: Rng + ?Sized>(
                         "epoch_skipped",
                         format!("run_online: epoch {epoch}: decision failed ({e}) — skipping"),
                     )
-                    .with("epoch", epoch),
+                    .with("epoch", epoch)
+                    .with("rung", DecisionRung::Stale.as_str()),
                 );
                 if rec.enabled() {
                     rec.add("online.epochs_skipped", 1);
@@ -201,6 +210,7 @@ pub fn run_online_recorded<R: Rng + ?Sized>(
             planning_bps: None,
             alive: vec![true; scenario.n_servers()],
             degraded: false,
+            rung: DecisionRung::Full,
         });
         drifting.advance(rng);
     }
@@ -309,7 +319,8 @@ pub fn run_online_estimated_recorded<R: Rng + ?Sized>(
                             d.true_benefit
                         ),
                     )
-                    .with("epoch", epoch),
+                    .with("epoch", epoch)
+                    .with("rung", DecisionRung::Stale.as_str()),
                 );
                 if rec.enabled() {
                     rec.add("online.epochs_skipped", 1);
@@ -327,7 +338,8 @@ pub fn run_online_estimated_recorded<R: Rng + ?Sized>(
                             "run_online_estimated: epoch {epoch}: decision failed ({e}) — skipping"
                         ),
                     )
-                    .with("epoch", epoch),
+                    .with("epoch", epoch)
+                    .with("rung", DecisionRung::Stale.as_str()),
                 );
                 if rec.enabled() {
                     rec.add("online.epochs_skipped", 1);
@@ -376,6 +388,7 @@ pub fn run_online_estimated_recorded<R: Rng + ?Sized>(
             planning_bps: estimates.map(|est| est.iter().map(|b| b / headroom).collect()),
             alive: vec![true; scenario.n_servers()],
             degraded: false,
+            rung: DecisionRung::Full,
         });
         drifting.advance(rng);
     }

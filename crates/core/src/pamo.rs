@@ -8,8 +8,8 @@
 //!    the feasible joint-configuration pool with Algorithm-1 placement
 //!    inside the loop (lines 12-26).
 
-use eva_bo::{bo_maximize, AcqKind, BoConfig, BoResult};
-use eva_obs::{span, NoopRecorder, Phase, Recorder};
+use eva_bo::{bo_maximize_budgeted, AcqKind, BoConfig, BoResult};
+use eva_obs::{cost, span, DecisionBudget, NoopRecorder, Phase, Recorder};
 use eva_prefgp::{elicit_preferences, ElicitConfig, PreferenceModel};
 use eva_workload::{Outcome, Profiler, Scenario, VideoConfig};
 use parking_lot::Mutex;
@@ -154,6 +154,22 @@ impl Pamo {
         *self.design.lock() = None;
     }
 
+    /// The cross-decision warm-start state: the shared GP
+    /// hyperparameters of the last decision and the cached profiling
+    /// design (for checkpointing the scheduler).
+    #[allow(clippy::type_complexity)]
+    pub fn warm_state(&self) -> (Option<Vec<Vec<f64>>>, Option<ProfilingDesign>) {
+        (self.warm.lock().clone(), self.design.lock().clone())
+    }
+
+    /// Overwrite the warm-start state (restoring a checkpointed
+    /// scheduler). The next decision then warm-starts exactly as the
+    /// checkpointed scheduler's next decision would have.
+    pub fn restore_warm_state(&self, warm: Option<Vec<Vec<f64>>>, design: Option<ProfilingDesign>) {
+        *self.warm.lock() = warm;
+        *self.design.lock() = design;
+    }
+
     /// Run Algorithm 2 on a scenario. `true_pref` plays the decision
     /// maker (answering comparisons for PaMO; evaluated directly for
     /// PaMO+) and scores the final decision.
@@ -199,6 +215,38 @@ impl Pamo {
         rng: &mut R,
         rec: &dyn Recorder,
     ) -> Result<PamoDecision, CoreError> {
+        self.decide_surviving_budgeted_recorded(
+            scenario,
+            true_pref,
+            alive,
+            &DecisionBudget::unlimited(),
+            rng,
+            rec,
+        )
+    }
+
+    /// [`Pamo::decide_surviving_recorded`] under a decision deadline
+    /// budget: deterministic work units are charged *before* each
+    /// charged stage runs (the outcome-model refit as one lump, then
+    /// every BO init point, GP refit, acquisition scan and batch
+    /// observation individually via
+    /// [`eva_bo::bo_maximize_budgeted`]), and the BO loop early-exits
+    /// keeping the best decision found so far once the budget refuses a
+    /// charge. Budget exhaustion therefore degrades decision *quality*,
+    /// never feasibility: the recommendation is always a placed,
+    /// scored configuration. With [`DecisionBudget::unlimited`] no
+    /// charge is ever refused and this is bit-identical to the
+    /// unbudgeted path (which delegates here).
+    #[allow(clippy::too_many_arguments)]
+    pub fn decide_surviving_budgeted_recorded<R: Rng + ?Sized>(
+        &self,
+        scenario: &Scenario,
+        true_pref: &TruePreference,
+        alive: Option<&[bool]>,
+        budget: &DecisionBudget,
+        rng: &mut R,
+        rec: &dyn Recorder,
+    ) -> Result<PamoDecision, CoreError> {
         let _decide_span = span(rec, Phase::Decide);
         let cfg = &self.config;
         let normalizer = OutcomeNormalizer::for_scenario(scenario);
@@ -220,6 +268,15 @@ impl Pamo {
                 }
             }
         };
+        // The refit is mandatory (a decision without outcome models is
+        // no decision), so a refused lump is force-charged: the overrun
+        // counter then records that the budget floor was set below the
+        // decision's fixed cost — the condition `ext_overload` gates on
+        // staying zero.
+        let fit_lump = scenario.n_videos() as u64 * cost::GP_FIT;
+        if !budget.try_charge(fit_lump) {
+            budget.force_charge(fit_lump);
+        }
         let bank = OutcomeModelBank::fit_initial_designed_recorded(
             scenario,
             &design,
@@ -289,7 +346,7 @@ impl Pamo {
         };
         let bo = {
             let _bo_span = span(rec, Phase::BoSearch);
-            bo_maximize(objective, fit, &pool, &cfg.bo, rng)
+            bo_maximize_budgeted(objective, fit, &pool, &cfg.bo, rng, budget)
         };
         if rec.enabled() {
             rec.add("core.decisions", 1);
@@ -559,6 +616,56 @@ mod tests {
         let cold_again = pamo.decide(&sc, &pref, &mut seeded(7)).unwrap();
         assert_eq!(cold_again.configs, first.configs);
         assert_eq!(cold_again.true_benefit, first.true_benefit);
+    }
+
+    #[test]
+    fn budgeted_decision_early_exits_but_stays_feasible() {
+        let sc = scenario();
+        let pref = TruePreference::uniform(&sc);
+        let pamo = Pamo::new(tiny_config().plus());
+        let full = pamo.decide(&sc, &pref, &mut seeded(11)).unwrap();
+        pamo.reset_warm_start();
+        // Affords the mandatory fit lump plus the init design only:
+        // the BO loop must early-exit without overrunning, and the
+        // recommendation must still be a feasible placement.
+        let budget =
+            DecisionBudget::limited(sc.n_videos() as u64 * cost::GP_FIT + 4 * cost::OBJ_EVAL);
+        let d = pamo
+            .decide_surviving_budgeted_recorded(
+                &sc,
+                &pref,
+                None,
+                &budget,
+                &mut seeded(11),
+                &NoopRecorder,
+            )
+            .unwrap();
+        assert!(d.bo.budget_stopped, "starved budget must stop the BO loop");
+        assert!(
+            d.bo.observations.len() < full.bo.observations.len(),
+            "budgeted run observed as much as the unlimited run"
+        );
+        assert_eq!(budget.overruns(), 0);
+        assert!(budget.spent() <= budget.limit());
+        assert!(sc.schedule(&d.configs).is_ok());
+    }
+
+    #[test]
+    fn warm_state_round_trip_restores_the_scheduler() {
+        let sc = scenario();
+        let pref = TruePreference::uniform(&sc);
+        let pamo = Pamo::new(tiny_config().plus());
+        pamo.decide(&sc, &pref, &mut seeded(12)).unwrap();
+        let (warm, design) = pamo.warm_state();
+        assert!(warm.is_some() && design.is_some());
+        // A fresh scheduler restored from the checkpoint makes the
+        // same next decision as the original.
+        let restored = Pamo::new(tiny_config().plus());
+        restored.restore_warm_state(warm, design);
+        let a = pamo.decide(&sc, &pref, &mut seeded(13)).unwrap();
+        let b = restored.decide(&sc, &pref, &mut seeded(13)).unwrap();
+        assert_eq!(a.configs, b.configs);
+        assert_eq!(a.true_benefit.to_bits(), b.true_benefit.to_bits());
     }
 
     #[test]

@@ -45,7 +45,7 @@ use std::time::Instant;
 
 use eva_fault::process::secs_to_ticks;
 use eva_fault::{AvailabilityTrace, FaultPlan};
-use eva_obs::{span, NoopRecorder, Phase, Recorder};
+use eva_obs::{span, DecisionRung, NoopRecorder, Phase, Recorder};
 use eva_sched::{Assignment, TICKS_PER_SEC};
 use eva_serve::{
     subset_outcome, AdmissionConfig, AdmissionController, AdmissionDecision, ArrivalModel,
@@ -105,7 +105,7 @@ impl ServingConfig {
 }
 
 /// One handled serving event (simulation-time stamped).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeEvent {
     /// Event time in seconds from run start.
     pub time_s: f64,
@@ -114,10 +114,17 @@ pub struct ServeEvent {
     /// Churn tenant id (`None` for server events).
     pub tenant: Option<u64>,
     /// What the scheduler did: `"accepted"`, `"queued"`, `"rejected"`,
-    /// `"replanned"`, `"ignored"` or `"degraded"`.
+    /// `"replanned"`, `"ignored"`, `"degraded"`, `"shed"` (dropped by
+    /// overload load shedding) or `"deferred"` (pushed past the budget
+    /// window by a stale-rung controller).
     pub outcome: &'static str,
-    /// Replan scope when a replan ran: `"incremental"` or `"full"`.
+    /// Replan scope when a replan ran: `"incremental"`, `"full"` or
+    /// `"coalesced"` (one batched full solve absorbing a burst).
     pub scope: Option<&'static str>,
+    /// The escalation-ladder rung the controller was on when it
+    /// handled this event (`"full"`, `"repair"` or `"stale"`); always
+    /// `"full"` outside budgeted overload runs.
+    pub rung: &'static str,
     /// Scheduling reaction latency in seconds: handler compute time,
     /// plus (epoch-synchronous only) the wait until the boundary that
     /// finally handled the event.
@@ -157,6 +164,25 @@ pub struct ServingRun {
     pub min_floor_margin: f64,
     /// Whether the run ever served a degraded or dark interval.
     pub degraded: bool,
+    /// Waiting tenants dropped by overload load shedding (age expiry
+    /// plus high-water eviction); 0 outside overload runs.
+    pub shed: u64,
+    /// Replans coalesced into batched full solves under pressure.
+    pub replan_coalesced: u64,
+    /// Total decision-budget work units spent across all windows.
+    pub budget_spent: u64,
+    /// Budget overruns — forced charges past an exhausted budget.
+    /// Always 0 when the escalation ladder is tuned correctly; the
+    /// `ext_overload` experiment gates on it.
+    pub budget_overruns: u64,
+    /// Decision windows whose modeled control latency met the
+    /// [`eva_obs::BudgetPolicy`] deadline.
+    pub deadline_hits: u64,
+    /// Decision windows that missed the modeled deadline.
+    pub deadline_misses: u64,
+    /// Epoch decisions taken per escalation-ladder rung, indexed by
+    /// [`DecisionRung::index`] (`[full, repair, stale]`).
+    pub rung_counts: [u64; 3],
 }
 
 impl ServingRun {
@@ -189,6 +215,16 @@ impl ServingRun {
         )
     }
 
+    /// Fraction of decision windows whose modeled control latency met
+    /// the budget policy's deadline; 1.0 when nothing was measured.
+    pub fn deadline_hit_rate(&self) -> f64 {
+        let total = self.deadline_hits + self.deadline_misses;
+        if total == 0 {
+            return 1.0;
+        }
+        self.deadline_hits as f64 / total as f64
+    }
+
     /// p99 reaction latency restricted to one event kind.
     pub fn reaction_p99_for(&self, kind: &str) -> f64 {
         percentile_99(
@@ -200,7 +236,7 @@ impl ServingRun {
     }
 }
 
-fn percentile_99(values: impl Iterator<Item = f64>) -> f64 {
+pub(crate) fn percentile_99(values: impl Iterator<Item = f64>) -> f64 {
     let mut v: Vec<f64> = values.collect();
     if v.is_empty() {
         return 0.0;
@@ -212,7 +248,7 @@ fn percentile_99(values: impl Iterator<Item = f64>) -> f64 {
 
 /// A timeline entry: churn or a server liveness toggle.
 #[derive(Debug, Clone, Copy)]
-enum Happening {
+pub(crate) enum Happening {
     Churn(ChurnEvent),
     Server { server: usize, up: bool },
 }
@@ -220,7 +256,7 @@ enum Happening {
 /// The churn tenant's content — a pure function of the churn seed, so
 /// retries (queue drains) and both reaction disciplines see the same
 /// clip for the same tenant.
-fn churn_clip(churn_seed: u64, tenant: u64, index: usize) -> ClipProfile {
+pub(crate) fn churn_clip(churn_seed: u64, tenant: u64, index: usize) -> ClipProfile {
     let seed = eva_stats::rng::child_seed(churn_seed, tenant.wrapping_add(0xC11F));
     let mut rng = eva_stats::rng::seeded(seed);
     ClipProfile::random(&mut rng, index)
@@ -344,6 +380,7 @@ impl<'a> ServingLoop<'a> {
             scope,
             reaction_s,
             live_tenants: self.extras.len(),
+            rung: DecisionRung::Full.as_str(),
         });
     }
 
@@ -580,7 +617,7 @@ impl<'a> ServingLoop<'a> {
     }
 }
 
-fn scope_label(scope: ReplanScope) -> &'static str {
+pub(crate) fn scope_label(scope: ReplanScope) -> &'static str {
     match scope {
         ReplanScope::Incremental { .. } => "incremental",
         ReplanScope::Full => "full",
@@ -655,6 +692,13 @@ pub fn run_serving_recorded<R: Rng + ?Sized>(
             n_servers,
             min_floor_margin: f64::INFINITY,
             degraded: run.degraded,
+            shed: 0,
+            replan_coalesced: 0,
+            budget_spent: 0,
+            budget_overruns: 0,
+            deadline_hits: 0,
+            deadline_misses: 0,
+            rung_counts: [serving.n_epochs as u64, 0, 0],
         };
     }
 
@@ -805,6 +849,7 @@ pub fn run_serving_recorded<R: Rng + ?Sized>(
             planning_bps: None,
             alive: state.belief.clone(),
             degraded: epoch_degraded,
+            rung: DecisionRung::Full,
         });
         if rec.enabled() {
             rec.add("serve.epochs", 1);
@@ -868,6 +913,7 @@ pub fn run_serving_recorded<R: Rng + ?Sized>(
     }
 
     let stats = state.rescheduler.stats();
+    let n_epochs = epochs.len() as u64;
     ServingRun {
         epochs,
         events: state.events,
@@ -881,6 +927,13 @@ pub fn run_serving_recorded<R: Rng + ?Sized>(
         n_servers,
         min_floor_margin: state.min_floor_margin,
         degraded: state.degraded,
+        shed: 0,
+        replan_coalesced: stats.coalesced,
+        budget_spent: 0,
+        budget_overruns: 0,
+        deadline_hits: 0,
+        deadline_misses: 0,
+        rung_counts: [n_epochs, 0, 0],
     }
 }
 

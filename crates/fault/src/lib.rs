@@ -16,16 +16,21 @@
 //!   [`SlowdownTrace`]), and per-frame Bernoulli loss ([`LossProcess`]),
 //! * [`plan`] — [`FaultPlan`]: the per-server / per-camera bundle a
 //!   scenario carries, with [`RetryPolicy`] (bounded retries,
-//!   exponential backoff) governing lost-frame retransmission.
+//!   exponential backoff) governing lost-frame retransmission,
+//! * [`chaos`] — [`ChaosSpec`]: one seeded composition of churn storms
+//!   × link collapse × crash bursts × control-plane stragglers, the
+//!   overload experiments' single reproducible knob.
 //!
 //! Everything is deterministic given its seed: the same plan always
 //! injects the same faults, so fault-tolerance experiments replay
 //! exactly and the zero-rate plan is observationally (bit-)identical to
 //! no plan at all.
 
+pub mod chaos;
 pub mod plan;
 pub mod process;
 
+pub use chaos::{ChaosSpec, ChaosWindow, ChurnStorm, ControlStragglers, CrashBursts, LinkCollapse};
 pub use plan::{CameraFaults, FaultPlan, RetryPolicy, ServerFaults};
 pub use process::{
     AvailabilityModel, AvailabilityTrace, LossProcess, SlowdownModel, SlowdownTrace,

@@ -18,12 +18,14 @@
 //! The crate is intentionally dependency-free (std only) so every
 //! workspace crate can accept a recorder without pulling anything in.
 
+pub mod budget;
 pub mod flight;
 pub mod hist;
 pub mod json;
 pub mod recorder;
 pub mod registry;
 
+pub use budget::{cost, BudgetPolicy, DecisionBudget, DecisionRung};
 pub use flight::{FlightRecorder, ObsSnapshot, PhaseStats};
 pub use hist::LogLinearHistogram;
 pub use recorder::{

@@ -42,11 +42,14 @@ pub enum Phase {
     /// Algorithm 1 re-solve) triggered by arrival/departure/failure/
     /// restore.
     Replan,
+    /// Retry-queue load shedding (age expiry or high-water eviction)
+    /// under overload.
+    Shed,
 }
 
 impl Phase {
     /// All phases, in pipeline order (the order summaries print in).
-    pub const ALL: [Phase; 12] = [
+    pub const ALL: [Phase; 13] = [
         Phase::Epoch,
         Phase::Decide,
         Phase::OutcomeFit,
@@ -59,6 +62,7 @@ impl Phase {
         Phase::Fallback,
         Phase::Admission,
         Phase::Replan,
+        Phase::Shed,
     ];
 
     /// Stable machine-readable name (used in exports and schemas).
@@ -76,6 +80,7 @@ impl Phase {
             Phase::Fallback => "fallback",
             Phase::Admission => "admission",
             Phase::Replan => "replan",
+            Phase::Shed => "shed",
         }
     }
 
@@ -94,6 +99,7 @@ impl Phase {
             Phase::Fallback => 9,
             Phase::Admission => 10,
             Phase::Replan => 11,
+            Phase::Shed => 12,
         }
     }
 }

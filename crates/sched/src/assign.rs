@@ -76,7 +76,7 @@ fn sparse_candidates(group_bits: &[f64], uplinks: &[f64], top_k: usize) -> Spars
 }
 
 /// A complete placement decision.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Assignment {
     /// Post-split stream timings, in the order referenced by `server_of`.
     pub streams: Vec<StreamTiming>,

@@ -16,7 +16,7 @@
 //! configuration are queued on the same grounds, and either is rejected
 //! outright once the queue is full.
 
-use eva_obs::{span, Phase, Recorder};
+use eva_obs::{emit_warn, span, ObsEvent, Phase, Recorder};
 use eva_sched::Assignment;
 use eva_workload::{Outcome, Scenario, VideoConfig};
 
@@ -33,6 +33,15 @@ pub struct AdmissionConfig {
     /// Capacity of the retry queue; a blocked arrival is rejected once
     /// the queue holds this many waiting tenants.
     pub queue_capacity: usize,
+    /// Age-based shedding: a queued tenant waiting longer than this is
+    /// shed (oldest first) instead of retried. `f64::INFINITY`
+    /// disables age shedding (the pre-overload default).
+    pub max_queue_age_s: f64,
+    /// High-water mark on queue depth: at or above this many waiters
+    /// the serving loop switches the rescheduler to coalesced batch
+    /// repairs and sheds down to the mark. `usize::MAX` disables
+    /// (the pre-overload default).
+    pub high_water: usize,
 }
 
 impl Default for AdmissionConfig {
@@ -41,6 +50,8 @@ impl Default for AdmissionConfig {
             max_benefit_drop: 0.05,
             max_live: 64,
             queue_capacity: 8,
+            max_queue_age_s: f64::INFINITY,
+            high_water: usize::MAX,
         }
     }
 }
@@ -130,11 +141,22 @@ impl AdmissionController {
             rec.add("serve.admission_probes", 1);
         }
         let m = incumbent_configs.len();
-        assert_eq!(
-            trial.n_videos(),
-            m + 1,
-            "trial scenario must hold incumbents plus exactly one newcomer"
-        );
+        if trial.n_videos() != m + 1 {
+            // A malformed probe scenario is a caller bug; degrade to a
+            // reject instead of panicking the serving loop.
+            emit_warn(
+                rec,
+                ObsEvent::warn(
+                    "admission_probe_malformed",
+                    "trial scenario camera count mismatch",
+                )
+                .with("trial_cameras", trial.n_videos() as u64)
+                .with("expected", (m + 1) as u64),
+            );
+            return AdmissionDecision::Reject {
+                reason: "malformed probe scenario",
+            };
+        }
         if self.cfg.max_live == 0 {
             return AdmissionDecision::Reject {
                 reason: "serving disabled (max_live = 0)",
@@ -145,7 +167,12 @@ impl AdmissionController {
         }
 
         let mut configs = incumbent_configs.to_vec();
-        configs.push(trial.config_space().at(0)); // placeholder, overwritten below
+        let Some(placeholder) = trial.config_space().iter().next() else {
+            return AdmissionDecision::Reject {
+                reason: "empty config space",
+            };
+        };
+        configs.push(placeholder); // overwritten by each candidate below
         let mut best: Option<ProbeReport> = None;
         for cand in trial.config_space().iter() {
             configs[m] = cand;
@@ -204,8 +231,18 @@ pub fn subset_outcome(
     assignment: &Assignment,
     cameras: usize,
 ) -> Outcome {
-    assert!(cameras >= 1, "subset_outcome: empty camera subset");
-    assert!(cameras <= configs.len());
+    // Panic-free: clamp an oversized subset and return a neutral
+    // (all-zero) outcome for an empty one.
+    let cameras = cameras.min(configs.len());
+    if cameras == 0 {
+        return Outcome {
+            latency_s: 0.0,
+            accuracy: 0.0,
+            network_bps: 0.0,
+            compute_tflops: 0.0,
+            power_w: 0.0,
+        };
+    }
     let mut acc_sum = 0.0;
     let mut net = 0.0;
     let mut com = 0.0;

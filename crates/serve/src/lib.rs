@@ -16,7 +16,13 @@
 //!   arrival / departure / server failure / server restore uniformly as
 //!   replan triggers and repairs only the perturbed assignment rows
 //!   (one row = one zero-jitter group), falling back to a full
-//!   Algorithm-1 re-solve when row repair cannot restore feasibility.
+//!   Algorithm-1 re-solve when row repair cannot restore feasibility —
+//!   or, under a decision budget, running repair-only
+//!   ([`Rescheduler::replan_limited`]) and coalesced batch repairs
+//!   ([`Rescheduler::replan_coalesced`]),
+//! * [`queue`] — the admission retry queue with overload backpressure:
+//!   age-based shedding and a high-water mark that flips the serving
+//!   loop into coalesced-repair mode.
 //!
 //! The serving *loop* that drives these against live PaMO decisions
 //! (`run_serving`) lives in `pamo-core`, which composes this crate with
@@ -25,10 +31,12 @@
 
 pub mod admission;
 pub mod arrival;
+pub mod queue;
 pub mod reschedule;
 
 pub use admission::{
     subset_outcome, AdmissionConfig, AdmissionController, AdmissionDecision, ProbeReport,
 };
 pub use arrival::{ArrivalModel, ChurnAction, ChurnConfig, ChurnEvent, ChurnTrace};
+pub use queue::{QueueEntry, RetryQueue};
 pub use reschedule::{ReplanScope, ReplanStats, ReplanTrigger, Rescheduler};

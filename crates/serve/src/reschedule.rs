@@ -89,6 +89,9 @@ pub struct ReplanStats {
     pub incremental: u64,
     /// Replans that needed a full re-solve.
     pub full: u64,
+    /// Coalesced batch repairs (one full re-solve absorbing a burst of
+    /// triggers while the retry queue is above its high-water mark).
+    pub coalesced: u64,
 }
 
 /// The live placement plus the repair machinery.
@@ -126,6 +129,29 @@ impl Rescheduler {
         self.stats
     }
 
+    /// The internal placement state, for checkpointing: materialized
+    /// groups, their servers, the persisted auction prices, and the
+    /// replan totals.
+    #[allow(clippy::type_complexity)]
+    pub fn parts(&self) -> (&[Vec<StreamTiming>], &[usize], &[f64], ReplanStats) {
+        (&self.groups, &self.group_server, &self.prices, self.stats)
+    }
+
+    /// Rebuild from checkpointed [`parts`](Self::parts).
+    pub fn from_parts(
+        groups: Vec<Vec<StreamTiming>>,
+        group_server: Vec<usize>,
+        prices: Vec<f64>,
+        stats: ReplanStats,
+    ) -> Self {
+        Rescheduler {
+            groups,
+            group_server,
+            prices,
+            stats,
+        }
+    }
+
     /// React to one event. `scenario` / `configs` describe the world
     /// *after* the event (the departed camera removed, the arrived one
     /// appended); `alive` is the post-event server liveness. Attempts a
@@ -143,6 +169,67 @@ impl Rescheduler {
         rec: &dyn Recorder,
     ) -> Result<(Assignment, ReplanScope), GroupingError> {
         let _replan = span(rec, Phase::Replan);
+        self.count_trigger(trigger, rec);
+        if let Some(ok) = self.try_repair(scenario, configs, alive, trigger, rec) {
+            return Ok(ok);
+        }
+        // Row repair failed or verification rejected it: the state was
+        // rolled back by `try_repair`; re-solve from scratch.
+        match scenario.schedule_surviving_recorded(configs, alive, rec) {
+            Ok(a) => {
+                self.install(&a);
+                self.stats.full += 1;
+                if rec.enabled() {
+                    rec.add("serve.replan_full", 1);
+                }
+                Ok((a, ReplanScope::Full))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// [`replan`](Self::replan) without the full-re-solve fallback:
+    /// the incremental row repair either succeeds or the placement is
+    /// left unchanged and `None` is returned — the budgeted control
+    /// plane's *repair* rung, which may not afford a full Algorithm-1
+    /// pass. On `None` the caller keeps serving the stale plan.
+    pub fn replan_limited(
+        &mut self,
+        scenario: &Scenario,
+        configs: &[VideoConfig],
+        alive: Option<&[bool]>,
+        trigger: ReplanTrigger,
+        rec: &dyn Recorder,
+    ) -> Option<(Assignment, ReplanScope)> {
+        let _replan = span(rec, Phase::Replan);
+        self.count_trigger(trigger, rec);
+        self.try_repair(scenario, configs, alive, trigger, rec)
+    }
+
+    /// One full re-solve absorbing a whole burst of `batched` pending
+    /// triggers — the high-water-mark alternative to per-event replans.
+    /// On `Err` the internal placement is left unchanged (stale).
+    pub fn replan_coalesced(
+        &mut self,
+        scenario: &Scenario,
+        configs: &[VideoConfig],
+        alive: Option<&[bool]>,
+        batched: u64,
+        rec: &dyn Recorder,
+    ) -> Result<Assignment, GroupingError> {
+        let _replan = span(rec, Phase::Replan);
+        if rec.enabled() {
+            rec.add("serve.replans", 1);
+            rec.add("serve.replan_coalesced", 1);
+            rec.add("serve.replan_coalesced_triggers", batched);
+        }
+        let a = scenario.schedule_surviving_recorded(configs, alive, rec)?;
+        self.install(&a);
+        self.stats.coalesced += 1;
+        Ok(a)
+    }
+
+    fn count_trigger(&self, trigger: ReplanTrigger, rec: &dyn Recorder) {
         if rec.enabled() {
             rec.add("serve.replans", 1);
             match trigger {
@@ -152,6 +239,20 @@ impl Rescheduler {
                 ReplanTrigger::ServerRestore { .. } => rec.add("serve.replan_restores", 1),
             }
         }
+    }
+
+    /// The incremental repair path shared by [`replan`](Self::replan)
+    /// and [`replan_limited`](Self::replan_limited): repair, verify,
+    /// reprice. Rolls the placement back and returns `None` when the
+    /// repair fails or verification rejects it.
+    fn try_repair(
+        &mut self,
+        scenario: &Scenario,
+        configs: &[VideoConfig],
+        alive: Option<&[bool]>,
+        trigger: ReplanTrigger,
+        rec: &dyn Recorder,
+    ) -> Option<(Assignment, ReplanScope)> {
         let saved = (self.groups.clone(), self.group_server.clone());
         let repaired = match trigger {
             ReplanTrigger::Arrival { camera } => self.repair_arrival(scenario, configs, camera),
@@ -175,7 +276,7 @@ impl Rescheduler {
                     rec.add("serve.replan_incremental", 1);
                     rec.observe("serve.replan_rows", rows as f64);
                 }
-                return Ok((
+                return Some((
                     self.assignment(scenario, configs),
                     ReplanScope::Incremental {
                         rows_resolved: rows,
@@ -183,20 +284,8 @@ impl Rescheduler {
                 ));
             }
         }
-        // Row repair failed or verification rejected it: restore the
-        // pre-repair state and re-solve from scratch.
         (self.groups, self.group_server) = saved;
-        match scenario.schedule_surviving_recorded(configs, alive, rec) {
-            Ok(a) => {
-                self.install(&a);
-                self.stats.full += 1;
-                if rec.enabled() {
-                    rec.add("serve.replan_full", 1);
-                }
-                Ok((a, ReplanScope::Full))
-            }
-            Err(e) => Err(e),
-        }
+        None
     }
 
     /// The newcomer's split streams, packed greedily. Returns the
@@ -785,6 +874,85 @@ mod tests {
                 assert_eq!(server, 2, "heavy group stays put");
             }
         }
+    }
+
+    #[test]
+    fn limited_replan_never_runs_the_full_fallback() {
+        let sc = scenario(4, 3);
+        let cfgs = low(4);
+        // Never installed: the repair path can't verify, and without
+        // the full fallback the placement must stay untouched.
+        let mut r = Rescheduler::new();
+        let before = (r.groups.clone(), r.group_server.clone());
+        let out = r.replan_limited(
+            &sc,
+            &cfgs,
+            None,
+            ReplanTrigger::ServerRestore { server: 0 },
+            &NoopRecorder,
+        );
+        assert!(out.is_none());
+        assert_eq!((r.groups.clone(), r.group_server.clone()), before);
+        assert_eq!(r.stats().full, 0);
+    }
+
+    #[test]
+    fn limited_replan_repairs_when_it_can() {
+        let sc5 = scenario(5, 3);
+        let cfgs5 = low(5);
+        let mut r = installed(&sc5, &cfgs5);
+        let sc4 = Scenario::new(
+            [0usize, 1, 3, 4]
+                .iter()
+                .map(|&i| sc5.clip(i).clone())
+                .collect(),
+            sc5.uplinks().to_vec(),
+            sc5.config_space().clone(),
+        );
+        let out = r.replan_limited(
+            &sc4,
+            &low(4),
+            None,
+            ReplanTrigger::Departure { camera: 2 },
+            &NoopRecorder,
+        );
+        assert!(matches!(out, Some((_, ReplanScope::Incremental { .. }))));
+        assert_eq!(r.stats().incremental, 1);
+    }
+
+    #[test]
+    fn coalesced_replan_absorbs_a_burst_in_one_resolve() {
+        let sc = scenario(4, 3);
+        let cfgs = low(4);
+        let mut r = Rescheduler::new();
+        let a = r
+            .replan_coalesced(&sc, &cfgs, None, 5, &NoopRecorder)
+            .expect("coalesced re-solve");
+        assert_eq!(r.stats().coalesced, 1);
+        assert_eq!(r.stats().full, 0);
+        let sources: std::collections::HashSet<usize> =
+            a.streams.iter().map(|s| s.id.source).collect();
+        assert_eq!(sources.len(), 4);
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_placement() {
+        let sc = scenario(4, 3);
+        let cfgs = low(4);
+        let mut r = installed(&sc, &cfgs);
+        let _ = r.replan(
+            &sc,
+            &cfgs,
+            None,
+            ReplanTrigger::ServerRestore { server: 0 },
+            &NoopRecorder,
+        );
+        let (g, s, p, st) = r.parts();
+        let clone = Rescheduler::from_parts(g.to_vec(), s.to_vec(), p.to_vec(), st);
+        assert_eq!(clone.groups, r.groups);
+        assert_eq!(clone.group_server, r.group_server);
+        assert_eq!(clone.prices, r.prices);
+        assert_eq!(clone.stats(), r.stats());
     }
 
     #[test]

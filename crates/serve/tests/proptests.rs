@@ -1,12 +1,13 @@
 //! Property tests for the serving substrates: admission never lets an
-//! infeasible placement through, and departures only ever free
-//! capacity.
+//! infeasible placement through, departures only ever free capacity,
+//! and the retry queue's bound/drain/shed discipline holds under any
+//! operation sequence.
 
 use eva_obs::NoopRecorder;
 use eva_sched::const2_zero_jitter_ok;
 use eva_serve::{
     AdmissionConfig, AdmissionController, AdmissionDecision, ReplanScope, ReplanTrigger,
-    Rescheduler,
+    Rescheduler, RetryQueue,
 };
 use eva_workload::{ClipProfile, Outcome, Scenario, VideoConfig};
 use proptest::prelude::*;
@@ -153,6 +154,90 @@ proptest! {
             }
             prev_util = u;
             prev_occupied = occupied(&a);
+        }
+    }
+
+    /// The retry queue under an arbitrary operation sequence: the
+    /// depth never exceeds `queue_capacity`, pops (departures /
+    /// restores draining it) are monotone FIFO, and both shedding
+    /// paths (age expiry, high-water eviction) evict oldest-first.
+    #[test]
+    fn retry_queue_bound_drain_and_oldest_first_shedding(
+        capacity in 1usize..=6,
+        high_water in 0usize..=6,
+        max_age in 1u32..=20,
+        ops in proptest::collection::vec((0u8..=3, 0u64..32), 1..60),
+    ) {
+        let cfg = AdmissionConfig {
+            queue_capacity: capacity,
+            max_queue_age_s: max_age as f64,
+            high_water,
+            ..AdmissionConfig::default()
+        };
+        let mut q = RetryQueue::new(&cfg);
+        let mut now = 0.0f64;
+        let mut model: Vec<(u64, f64)> = Vec::new(); // (tenant, enqueued_at)
+        for (op, tenant) in ops {
+            now += 1.0; // monotone clock, one tick per op
+            match op {
+                0 => {
+                    // Arrival tries to queue.
+                    let pushed = q.try_push(tenant, now);
+                    prop_assert_eq!(pushed, model.len() < capacity,
+                        "push must succeed iff below capacity");
+                    if pushed {
+                        model.push((tenant, now));
+                    }
+                }
+                1 => {
+                    // Capacity freed: drain the oldest waiter.
+                    let popped = q.pop_front();
+                    prop_assert_eq!(popped.map(|e| e.tenant),
+                        model.first().map(|&(t, _)| t),
+                        "drain must be FIFO (oldest first)");
+                    if !model.is_empty() {
+                        model.remove(0);
+                    }
+                }
+                2 => {
+                    // Age shedding at the current clock.
+                    let shed = q.expire(now);
+                    let expected: Vec<u64> = model
+                        .iter()
+                        .take_while(|&&(_, at)| now - at > max_age as f64)
+                        .map(|&(t, _)| t)
+                        .collect();
+                    prop_assert_eq!(
+                        shed.iter().map(|e| e.tenant).collect::<Vec<_>>(),
+                        expected,
+                        "age shedding must evict exactly the over-age prefix"
+                    );
+                    model.drain(..shed.len());
+                }
+                _ => {
+                    // High-water eviction.
+                    let shed = q.shed_to_high_water();
+                    let excess = model.len().saturating_sub(high_water);
+                    let expected: Vec<u64> =
+                        model[..excess].iter().map(|&(t, _)| t).collect();
+                    prop_assert_eq!(
+                        shed.iter().map(|e| e.tenant).collect::<Vec<_>>(),
+                        expected,
+                        "high-water shedding must evict the oldest excess"
+                    );
+                    model.drain(..excess);
+                    prop_assert!(q.len() <= high_water.min(capacity));
+                }
+            }
+            // Invariants after every operation.
+            prop_assert!(q.len() <= capacity, "queue exceeded its bound");
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(
+                q.entries().map(|e| e.tenant).collect::<Vec<_>>(),
+                model.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+                "queue order diverged from FIFO model"
+            );
+            prop_assert_eq!(q.under_pressure(), q.len() >= high_water);
         }
     }
 }
