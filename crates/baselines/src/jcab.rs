@@ -281,6 +281,39 @@ mod tests {
     }
 
     #[test]
+    fn bonded_belief_flows_into_the_decision() {
+        use eva_workload::{BondPolicy, BondedLink, LinkBundle, LinkModel};
+
+        // The trio bundle (12/8/5 Mbps at 30/80/200 ms) stripes to an
+        // effective ~10 Mbps under HoL-aware scheduling — half the
+        // oracle 20 Mbps provisioned rate. JCAB consumes that belief
+        // through `planning_uplinks`, so deciding on the bonded
+        // scenario must equal deciding with the equivalent explicit
+        // planning override, and differ from oracle where it matters.
+        let frame_bits = 5e5;
+        let trio = || {
+            LinkBundle::new(vec![
+                BondedLink::new(LinkModel::constant(12e6), 0.030),
+                BondedLink::new(LinkModel::constant(8e6), 0.080),
+                BondedLink::new(LinkModel::constant(5e6), 0.200),
+            ])
+        };
+        let eff = trio().effective_rate_bps(BondPolicy::EarliestDelivery, frame_bits);
+        assert!((eff - 10e6).abs() < 1e6, "trio effective rate {eff}");
+
+        let bonded = scenario()
+            .with_link_bundles(vec![trio(); 6], BondPolicy::EarliestDelivery)
+            .with_bonded_planning(frame_bits, 1.0);
+        assert_eq!(bonded.planning_uplinks(), &[eff; 4]);
+
+        let explicit = scenario().with_planning_uplinks(vec![eff; 4], 1.0);
+        let via_bond = Jcab::default().decide(&bonded);
+        let via_override = Jcab::default().decide(&explicit);
+        assert_eq!(via_bond.configs, via_override.configs);
+        assert_eq!(via_bond.server_of, via_override.server_of);
+    }
+
+    #[test]
     fn decision_is_deterministic() {
         let sc = scenario();
         let a = Jcab::default().decide(&sc);

@@ -23,7 +23,10 @@
 //!   replan and shed phases,
 //! * `scale_m2000` — one oracle decision epoch at fleet scale (2000
 //!   cameras × 200 servers; quick: 240 × 24), pinning the sharded
-//!   grouping, sparse auction assignment and batched posterior paths.
+//!   grouping, sparse auction assignment and batched posterior paths,
+//! * `bonded` — the DES with every camera on a heterogeneous three-link
+//!   bonded uplink under HoL-aware striping, pinning the packet-level
+//!   `bond_stripe` seeding path.
 //!
 //! Each workload runs under its own [`eva_obs::FlightRecorder`]; the
 //! per-phase histograms, counters and wall-clock totals land in one
@@ -70,7 +73,7 @@ use pamo_core::{
 /// Schema tag of the emitted file; bump on breaking layout changes.
 const SCHEMA: &str = "eva-obs/perf-baseline/v1";
 /// Phases the suite must exercise for the baseline to be trustworthy.
-const REQUIRED_PHASES: [&str; 9] = [
+const REQUIRED_PHASES: [&str; 10] = [
     "outcome_fit",
     "pref_model",
     "bo_search",
@@ -80,6 +83,7 @@ const REQUIRED_PHASES: [&str; 9] = [
     "admission",
     "replan",
     "shed",
+    "bond_stripe",
 ];
 
 fn pamo_config(quick: bool, preference: PreferenceSource) -> PamoConfig {
@@ -297,6 +301,44 @@ fn run_workload(name: &str, quick: bool, rec: &FlightRecorder) -> String {
                 run.budget_overruns
             )
         }
+        "bonded" => {
+            use eva_bond::{BondPolicy, BondedLink, LinkBundle};
+            use eva_net::LinkModel;
+            let horizon_s = if quick { 20.0 } else { 60.0 };
+            let trio = |seed: u64| {
+                LinkBundle::new(vec![
+                    BondedLink::new(LinkModel::gilbert_elliott(12e6, 4e6, 3.0, 1.0, seed), 0.030),
+                    BondedLink::new(
+                        LinkModel::gilbert_elliott(8e6, 3e6, 3.0, 1.0, seed + 100),
+                        0.080,
+                    ),
+                    BondedLink::new(LinkModel::constant(5e6), 0.200),
+                ])
+            };
+            let base = Scenario::uniform(4, 2, 20e6, 108).with_link_bundles(
+                (0..4).map(|i| trio(200 + i as u64)).collect(),
+                BondPolicy::EarliestDelivery,
+            );
+            let space = base.config_space();
+            let mid = space.resolutions()[space.resolutions().len() / 2];
+            let fps = space.frame_rates()[0];
+            let configs = vec![VideoConfig::new(mid, fps); base.n_videos()];
+            let assignment = base.schedule(&configs).expect("mid-grid uniform fits");
+            let r = simulate_scenario_with_deadline_recorded(
+                &base,
+                &configs,
+                &assignment,
+                PhasePolicy::ZeroJitter,
+                horizon_s,
+                0.5,
+                rec,
+            );
+            let frames: u64 = r.report.streams.iter().map(|s| s.frames).sum();
+            format!(
+                "4 cams x 2 servers, 3-link bonded uplinks (HoL-aware), \
+                 {horizon_s:.0} s horizon, {frames} frames"
+            )
+        }
         "scale_m2000" => {
             // One decision epoch at fleet scale: 2000 cameras on 200
             // servers (quick: 240 on 24), oracle preference. Exercises
@@ -394,6 +436,7 @@ fn main() {
         "serve_churn",
         "serve_chaos",
         "scale_m2000",
+        "bonded",
     ];
     println!(
         "== perf baseline: {} suite ==",

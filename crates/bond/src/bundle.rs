@@ -1,0 +1,639 @@
+//! Link bundles: a camera's set of heterogeneous uplinks and the
+//! packet-level delivery model that turns them into one frame-delivery
+//! time.
+//!
+//! A [`LinkBundle`] is the *description*: per-member
+//! [`LinkModel`] + base RTT, plus the MTU-sized packet quantum. It
+//! answers the planner's questions analytically —
+//! [`LinkBundle::effective_rate_bps`] is the bonded rate a scheduler
+//! should believe under each [`BondPolicy`], the quantity Algorithm-1,
+//! JCAB, FACT and the BO sampler consume as the camera's Eq. 5 `B`.
+//!
+//! A [`BundleSim`] is the *materialization*: per-member traces, per-link
+//! BBR-style estimators feeding the striping scheduler's beliefs, and a
+//! receiver [`ReorderBuffer`] converting per-packet arrivals into the
+//! in-order frame delivery instant the DES charges. Scheduling runs on
+//! believed rates, physics on the true trace rates — the same
+//! belief/truth split the rest of the system observes.
+//!
+//! Queueing state is per-frame (queues drain between frames), matching
+//! the DES's quasi-static per-frame link model; estimator and
+//! round-robin state persist across frames.
+
+use eva_net::{LinkEstimator, LinkModel, LinkTrace, MaxFilterEstimator};
+use eva_sched::Ticks;
+
+use crate::reorder::ReorderBuffer;
+use crate::sched::{BondPolicy, BondScheduler, LinkSnapshot};
+
+/// Default packet quantum: 1500-byte MTU = 12 kbit.
+pub const DEFAULT_PACKET_BITS: f64 = 12_000.0;
+
+/// One member of a bundle: a time-varying rate process plus the base
+/// round-trip time of the path (one-way delay is `rtt_s / 2`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BondedLink {
+    /// The link's rate process.
+    pub model: LinkModel,
+    /// Base RTT (seconds, ≥ 0); propagation only, queueing is modeled.
+    pub rtt_s: f64,
+}
+
+impl BondedLink {
+    /// A bonded member from a model and base RTT.
+    pub fn new(model: LinkModel, rtt_s: f64) -> Self {
+        assert!(
+            rtt_s.is_finite() && rtt_s >= 0.0,
+            "BondedLink: rtt must be finite and non-negative"
+        );
+        BondedLink { model, rtt_s }
+    }
+
+    /// One-way delay (seconds).
+    pub fn owd_s(&self) -> f64 {
+        self.rtt_s * 0.5
+    }
+}
+
+/// A camera's bonded uplink: 1–6 heterogeneous member links striped at
+/// packet granularity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkBundle {
+    links: Vec<BondedLink>,
+    packet_bits: f64,
+}
+
+impl LinkBundle {
+    /// A bundle over the given members with the default MTU quantum.
+    pub fn new(links: Vec<BondedLink>) -> Self {
+        assert!(!links.is_empty(), "LinkBundle: need at least one link");
+        LinkBundle {
+            links,
+            packet_bits: DEFAULT_PACKET_BITS,
+        }
+    }
+
+    /// A single-link bundle — the degenerate case that must behave
+    /// bit-identically to the unbonded path when `rtt_s == 0`.
+    pub fn single(model: LinkModel, rtt_s: f64) -> Self {
+        LinkBundle::new(vec![BondedLink::new(model, rtt_s)])
+    }
+
+    /// Override the packet quantum (bits per packet, > 0).
+    pub fn with_packet_bits(mut self, packet_bits: f64) -> Self {
+        assert!(
+            packet_bits.is_finite() && packet_bits > 0.0,
+            "LinkBundle: packet_bits must be finite and positive"
+        );
+        self.packet_bits = packet_bits;
+        self
+    }
+
+    /// The member links.
+    pub fn links(&self) -> &[BondedLink] {
+        &self.links
+    }
+
+    /// Number of member links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Never true: [`LinkBundle::new`] rejects empty bundles.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Whether the bundle is a degenerate single link.
+    pub fn is_single(&self) -> bool {
+        self.links.len() == 1
+    }
+
+    /// The packet quantum (bits).
+    pub fn packet_bits(&self) -> f64 {
+        self.packet_bits
+    }
+
+    /// Sum of member nominal rates — the ceiling no striping policy can
+    /// beat.
+    pub fn nominal_sum_bps(&self) -> f64 {
+        self.links.iter().map(|l| l.model.nominal_bps()).sum()
+    }
+
+    /// Effective rate of the *best single member* for a reference frame
+    /// of `frame_bits`: the whole frame rides one link, so delivery
+    /// takes `F/r + owd` and the effective rate is `F` over that.
+    pub fn best_single_rate_bps(&self, frame_bits: f64) -> f64 {
+        assert!(
+            frame_bits > 0.0,
+            "best_single_rate_bps: need frame_bits > 0"
+        );
+        self.links
+            .iter()
+            .map(|l| {
+                let t = frame_bits / l.model.nominal_bps() + l.owd_s();
+                frame_bits / t
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// The bonded *effective* rate under `policy` for a reference frame
+    /// of `frame_bits` — the planning belief. RTT makes this
+    /// frame-size-dependent: the one-way delay is additive, so small
+    /// frames amortize it worse.
+    ///
+    /// Analytic fluid model on nominal rates, one frame in isolation:
+    ///
+    /// * round-robin splits bits evenly, so the frame completes when
+    ///   the *slowest* member finishes its equal share:
+    ///   `T = max_l (F/(n·r_l) + owd_l)` — the multipath penalty in
+    ///   closed form (a slow far link drags the whole frame);
+    /// * rate-weighted splits bits ∝ rate, equalizing serialization:
+    ///   `T = F/Σr + max_l owd_l` — rate-optimal but still paying the
+    ///   worst member's delay;
+    /// * earliest-delivery water-fills: members join in one-way-delay
+    ///   order while their delay beats the completion time, and bits
+    ///   equalize *arrival* across the chosen set `S`:
+    ///   `T = (F + Σ_{l∈S} r_l·owd_l) / Σ_{l∈S} r_l`, minimized over
+    ///   feasible prefixes. This is ≥ every member's owd by
+    ///   construction, and degrades to best-single when the fast link
+    ///   alone wins.
+    pub fn effective_rate_bps(&self, policy: BondPolicy, frame_bits: f64) -> f64 {
+        assert!(frame_bits > 0.0, "effective_rate_bps: need frame_bits > 0");
+        let n = self.links.len() as f64;
+        let completion_s = match policy {
+            BondPolicy::RoundRobin => self
+                .links
+                .iter()
+                .map(|l| frame_bits / (n * l.model.nominal_bps()) + l.owd_s())
+                .fold(0.0, f64::max),
+            BondPolicy::RateWeighted => {
+                let sum_r: f64 = self.links.iter().map(|l| l.model.nominal_bps()).sum();
+                let max_owd = self.links.iter().map(BondedLink::owd_s).fold(0.0, f64::max);
+                frame_bits / sum_r + max_owd
+            }
+            BondPolicy::EarliestDelivery => {
+                // Sort members by one-way delay, then scan prefixes.
+                let mut by_owd: Vec<(f64, f64)> = self
+                    .links
+                    .iter()
+                    .map(|l| (l.owd_s(), l.model.nominal_bps()))
+                    .collect();
+                by_owd.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let mut sum_r = 0.0;
+                let mut sum_r_owd = 0.0;
+                let mut best = f64::INFINITY;
+                for &(owd, r) in &by_owd {
+                    sum_r += r;
+                    sum_r_owd += r * owd;
+                    let t = (frame_bits + sum_r_owd) / sum_r;
+                    // Feasible iff every included member can receive
+                    // non-negative bits, i.e. T ≥ its owd; owds are
+                    // sorted, so checking the newest suffices.
+                    if t >= owd {
+                        best = best.min(t);
+                    }
+                }
+                best
+            }
+        };
+        frame_bits / completion_s
+    }
+
+    /// The same bundle with member `idx`'s rate process scaled by
+    /// `factor` — how a `ChaosSpec`-style link collapse degrades one
+    /// member without zeroing the camera.
+    pub fn scaled_link(&self, idx: usize, factor: f64) -> Self {
+        assert!(idx < self.links.len(), "scaled_link: index out of range");
+        let mut links = self.links.clone();
+        links[idx] = BondedLink {
+            model: links[idx].model.scaled(factor),
+            rtt_s: links[idx].rtt_s,
+        };
+        LinkBundle {
+            links,
+            packet_bits: self.packet_bits,
+        }
+    }
+
+    /// Materialize the bundle over `[0, horizon)` ticks as a stateful
+    /// per-camera simulator striping with `policy`.
+    pub fn simulator(&self, horizon: Ticks, policy: BondPolicy) -> BundleSim {
+        BundleSim {
+            members: self
+                .links
+                .iter()
+                .map(|l| MemberState {
+                    trace: l.model.trace(horizon),
+                    rtt_s: l.rtt_s,
+                    nominal_bps: l.model.nominal_bps(),
+                    estimator: MaxFilterEstimator::default(),
+                    delivered_bits: 0.0,
+                    delivered_packets: 0,
+                })
+                .collect(),
+            scheduler: policy.scheduler(),
+            packet_bits: self.packet_bits,
+            frames: 0,
+            packets: 0,
+            hol_wait_s_total: 0.0,
+            max_reorder_depth: 0,
+        }
+    }
+}
+
+/// One materialized member inside a [`BundleSim`].
+#[derive(Debug, Clone)]
+struct MemberState {
+    trace: LinkTrace,
+    rtt_s: f64,
+    nominal_bps: f64,
+    estimator: MaxFilterEstimator,
+    delivered_bits: f64,
+    delivered_packets: u64,
+}
+
+impl MemberState {
+    /// What the scheduler believes this link delivers (bits/s):
+    /// estimator output, nominal before any observation.
+    fn believed_bps(&self) -> f64 {
+        self.estimator.estimate_bps().unwrap_or(self.nominal_bps)
+    }
+}
+
+/// The outcome of delivering one frame through a bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameDelivery {
+    /// Generation-to-in-order-delivery time (seconds): when the last
+    /// packet clears the reorder buffer.
+    pub delay_s: f64,
+    /// Pure serialization component: the slowest member's queue-drain
+    /// time (seconds), before propagation delay.
+    pub serialization_s: f64,
+    /// Bits each member carried for this frame.
+    pub per_link_bits: Vec<f64>,
+    /// Packets the frame was striped into.
+    pub packets: u64,
+    /// Total time packets spent held in the reorder buffer (seconds) —
+    /// the frame's HoL-blocking bill.
+    pub hol_wait_s: f64,
+    /// Deepest the reorder buffer got during this frame.
+    pub max_reorder_depth: usize,
+}
+
+/// A stateful bonded-uplink simulator for one camera: true per-member
+/// traces drive physics, per-member estimators drive the scheduler's
+/// beliefs, and a reorder buffer produces the in-order delivery time.
+#[derive(Clone)]
+pub struct BundleSim {
+    members: Vec<MemberState>,
+    scheduler: Box<dyn BondScheduler>,
+    packet_bits: f64,
+    frames: u64,
+    packets: u64,
+    hol_wait_s_total: f64,
+    max_reorder_depth: usize,
+}
+
+impl std::fmt::Debug for BundleSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BundleSim")
+            .field("links", &self.members.len())
+            .field("policy", &self.scheduler.name())
+            .field("frames", &self.frames)
+            .field("packets", &self.packets)
+            .finish()
+    }
+}
+
+impl BundleSim {
+    /// Deliver one frame of `bits` generated at tick `t`.
+    ///
+    /// Single-member bundles with zero RTT take a dedicated fast path
+    /// computing `bits / rate_at(t)` in one division — the *same*
+    /// floating-point expression as the unbonded DES link path, which
+    /// keeps the degenerate bundle bit-identical to it (striping would
+    /// re-associate the division into `Σ pktᵢ/r` and drift by ulps).
+    pub fn frame_delivery(&mut self, t: Ticks, bits: f64) -> FrameDelivery {
+        assert!(
+            bits.is_finite() && bits > 0.0,
+            "frame_delivery: need finite positive bits"
+        );
+        self.frames += 1;
+        if self.members.len() == 1 {
+            let m = &mut self.members[0];
+            let rate = m.trace.rate_at(t);
+            let serialization_s = bits / rate;
+            let delay_s = serialization_s + m.rtt_s * 0.5;
+            m.estimator.observe(bits / 8.0, serialization_s);
+            m.delivered_bits += bits;
+            m.delivered_packets += 1;
+            self.packets += 1;
+            return FrameDelivery {
+                delay_s,
+                serialization_s,
+                per_link_bits: vec![bits],
+                packets: 1,
+                hol_wait_s: 0.0,
+                max_reorder_depth: 1,
+            };
+        }
+        self.striped_delivery(t, bits)
+    }
+
+    /// The general multi-link path: packetize, stripe on beliefs, fly
+    /// on truth, reorder at the receiver.
+    fn striped_delivery(&mut self, t: Ticks, bits: f64) -> FrameDelivery {
+        let n = self.members.len();
+        let n_pkts = (bits / self.packet_bits).ceil().max(1.0) as u64;
+        let true_rates: Vec<f64> = self.members.iter().map(|m| m.trace.rate_at(t)).collect();
+        let mut snaps: Vec<LinkSnapshot> = self
+            .members
+            .iter()
+            .map(|m| LinkSnapshot {
+                rate_bps: m.believed_bps(),
+                queued_bits: 0.0,
+                rtt_s: m.rtt_s,
+            })
+            .collect();
+
+        // Stripe: the scheduler sees believed rates and this frame's
+        // queue build-up; each packet's true arrival is its link-local
+        // cumulative serialization (on the true rate) plus one-way
+        // delay.
+        let mut per_link_bits = vec![0.0_f64; n];
+        let mut arrivals: Vec<(f64, u64)> = Vec::with_capacity(n_pkts as usize);
+        let mut remaining = bits;
+        for seq in 0..n_pkts {
+            let pkt = remaining.min(self.packet_bits);
+            remaining -= pkt;
+            let idx = self.scheduler.pick(pkt, &snaps);
+            debug_assert!(idx < n, "scheduler returned out-of-range link");
+            let idx = idx.min(n - 1);
+            snaps[idx].queued_bits += pkt;
+            per_link_bits[idx] += pkt;
+            let arrival = per_link_bits[idx] / true_rates[idx] + self.members[idx].rtt_s * 0.5;
+            arrivals.push((arrival, seq));
+            self.members[idx].delivered_packets += 1;
+        }
+
+        // Receiver: feed the reorder buffer in arrival order (sequence
+        // breaks exact ties so the feed is deterministic).
+        arrivals.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut rb = ReorderBuffer::new();
+        let mut delay_s = 0.0_f64;
+        let mut hol_wait_s = 0.0_f64;
+        for &(arrival, seq) in &arrivals {
+            for rel in rb.push(seq, arrival) {
+                hol_wait_s += rel.release_s - rel.arrival_s;
+                delay_s = delay_s.max(rel.release_s);
+            }
+        }
+        debug_assert_eq!(rb.pending(), 0, "reorder buffer drained");
+
+        // Book-keeping and estimator feedback: each used member saw
+        // `per_link_bits` delivered over its true serialization time.
+        let mut serialization_s = 0.0_f64;
+        for (i, m) in self.members.iter_mut().enumerate() {
+            if per_link_bits[i] > 0.0 {
+                let ser = per_link_bits[i] / true_rates[i];
+                serialization_s = serialization_s.max(ser);
+                m.estimator.observe(per_link_bits[i] / 8.0, ser);
+                m.delivered_bits += per_link_bits[i];
+            }
+        }
+        self.packets += n_pkts;
+        self.hol_wait_s_total += hol_wait_s;
+        self.max_reorder_depth = self.max_reorder_depth.max(rb.max_depth());
+
+        FrameDelivery {
+            delay_s,
+            serialization_s,
+            per_link_bits,
+            packets: n_pkts,
+            hol_wait_s,
+            max_reorder_depth: rb.max_depth(),
+        }
+    }
+
+    /// Number of member links.
+    pub fn n_links(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The striping policy's stable name.
+    pub fn policy_name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+
+    /// Frames delivered so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Packets striped so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Cumulative HoL wait across all frames (seconds).
+    pub fn hol_wait_s_total(&self) -> f64 {
+        self.hol_wait_s_total
+    }
+
+    /// Deepest reorder-buffer depth seen across all frames.
+    pub fn max_reorder_depth(&self) -> usize {
+        self.max_reorder_depth
+    }
+
+    /// Bits delivered per member so far.
+    pub fn delivered_bits(&self) -> Vec<f64> {
+        self.members.iter().map(|m| m.delivered_bits).collect()
+    }
+
+    /// Packets delivered per member so far.
+    pub fn delivered_packets(&self) -> Vec<u64> {
+        self.members.iter().map(|m| m.delivered_packets).collect()
+    }
+
+    /// What the scheduler currently believes each member delivers
+    /// (bits/s) — estimator output, nominal before any observation.
+    pub fn believed_rates_bps(&self) -> Vec<f64> {
+        self.members.iter().map(MemberState::believed_bps).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eva_sched::TICKS_PER_SEC;
+
+    const HORIZON: Ticks = 60 * TICKS_PER_SEC;
+
+    /// The ext_multipath-style heterogeneous trio (rate bps, rtt s).
+    fn trio() -> LinkBundle {
+        LinkBundle::new(vec![
+            BondedLink::new(LinkModel::constant(12e6), 0.030),
+            BondedLink::new(LinkModel::constant(8e6), 0.080),
+            BondedLink::new(LinkModel::constant(5e6), 0.200),
+        ])
+    }
+
+    #[test]
+    fn analytic_rates_reproduce_penalty_and_recovery() {
+        let b = trio();
+        let frame = 5e5; // 500 kbit reference frame
+        let rr = b.effective_rate_bps(BondPolicy::RoundRobin, frame);
+        let rw = b.effective_rate_bps(BondPolicy::RateWeighted, frame);
+        let edf = b.effective_rate_bps(BondPolicy::EarliestDelivery, frame);
+        let single = b.best_single_rate_bps(frame);
+        // RR: T = max(F/3r + owd) = F/(3·5e6) + 0.1 = 0.1333 s → 3.75 Mbps.
+        assert!((rr - frame / (frame / 15e6 + 0.1)).abs() < 1.0, "rr {rr}");
+        // The multipath penalty: naïve striping loses to best single.
+        assert!(rr < single, "penalty missing: rr {rr} vs single {single}");
+        // Recovery: EDF beats every other policy and the best single.
+        assert!(edf >= single, "edf {edf} < single {single}");
+        assert!(edf >= rw && edf >= rr);
+        // And nothing beats the capacity sum.
+        for r in [rr, rw, edf, single] {
+            assert!(r <= b.nominal_sum_bps() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn edf_water_filling_excludes_links_too_far_to_help() {
+        // A tiny frame on a fast near link: the 200 ms member cannot
+        // possibly contribute before the frame is done.
+        let b = LinkBundle::new(vec![
+            BondedLink::new(LinkModel::constant(40e6), 0.010),
+            BondedLink::new(LinkModel::constant(40e6), 0.400),
+        ]);
+        let frame = 1e5; // 2.5 ms serialization on the near link
+        let edf = b.effective_rate_bps(BondPolicy::EarliestDelivery, frame);
+        let single = b.best_single_rate_bps(frame);
+        assert!(
+            (edf - single).abs() / single < 1e-9,
+            "edf should degrade to best single"
+        );
+        // Round-robin pays 200 ms of owd for half the bits.
+        let rr = b.effective_rate_bps(BondPolicy::RoundRobin, frame);
+        assert!(rr < 0.05 * single, "rr {rr} vs single {single}");
+    }
+
+    #[test]
+    fn zero_rtt_identical_links_bond_to_the_sum() {
+        let b = LinkBundle::new(vec![
+            BondedLink::new(LinkModel::constant(10e6), 0.0),
+            BondedLink::new(LinkModel::constant(10e6), 0.0),
+        ]);
+        for p in [
+            BondPolicy::RoundRobin,
+            BondPolicy::RateWeighted,
+            BondPolicy::EarliestDelivery,
+        ] {
+            let r = b.effective_rate_bps(p, 5e5);
+            assert!((r - 20e6).abs() < 1e-6, "{p:?}: {r}");
+        }
+    }
+
+    #[test]
+    fn simulated_delivery_tracks_the_analytic_model() {
+        let b = trio();
+        let frame = 5e5;
+        for (policy, tol) in [
+            (BondPolicy::RoundRobin, 0.05),
+            (BondPolicy::RateWeighted, 0.05),
+            (BondPolicy::EarliestDelivery, 0.05),
+        ] {
+            let mut sim = b.simulator(HORIZON, policy);
+            // Warm the estimators, then measure.
+            for k in 0..5 {
+                let _ = sim.frame_delivery(k * TICKS_PER_SEC, frame);
+            }
+            let d = sim.frame_delivery(10 * TICKS_PER_SEC, frame);
+            let analytic_t = frame / b.effective_rate_bps(policy, frame);
+            let rel = (d.delay_s - analytic_t).abs() / analytic_t;
+            assert!(
+                rel < tol,
+                "{policy:?}: sim {} vs analytic {analytic_t} (rel {rel})",
+                d.delay_s
+            );
+            // All bits accounted for.
+            let total: f64 = d.per_link_bits.iter().sum();
+            assert!((total - frame).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn round_robin_hol_blocks_and_edf_does_not() {
+        let b = trio();
+        let mut rr = b.simulator(HORIZON, BondPolicy::RoundRobin);
+        let mut edf = b.simulator(HORIZON, BondPolicy::EarliestDelivery);
+        for k in 0..10 {
+            let _ = rr.frame_delivery(k * TICKS_PER_SEC, 5e5);
+            let _ = edf.frame_delivery(k * TICKS_PER_SEC, 5e5);
+        }
+        assert!(
+            rr.hol_wait_s_total() > 10.0 * edf.hol_wait_s_total().max(1e-12),
+            "rr hol {} vs edf hol {}",
+            rr.hol_wait_s_total(),
+            edf.hol_wait_s_total()
+        );
+        assert!(rr.max_reorder_depth() > edf.max_reorder_depth());
+    }
+
+    #[test]
+    fn single_link_fast_path_is_one_division() {
+        let model = LinkModel::gilbert_elliott(25e6, 8e6, 3.0, 1.5, 42);
+        let trace = model.trace(HORIZON);
+        let mut sim = LinkBundle::single(model, 0.0).simulator(HORIZON, BondPolicy::default());
+        for t in [0, 12_345, 5 * TICKS_PER_SEC, HORIZON - 1] {
+            let bits = 3.7e5;
+            let d = sim.frame_delivery(t, bits);
+            // Bit-exact: the same expression the DES link path computes.
+            assert_eq!(d.delay_s.to_bits(), (bits / trace.rate_at(t)).to_bits());
+            assert_eq!(d.packets, 1);
+            assert_eq!(d.hol_wait_s, 0.0);
+        }
+    }
+
+    #[test]
+    fn scaled_link_degrades_one_member_only() {
+        let b = trio();
+        let collapsed = b.scaled_link(0, 0.25);
+        assert!((collapsed.links()[0].model.nominal_bps() - 3e6).abs() < 1.0);
+        assert_eq!(collapsed.links()[1], b.links()[1]);
+        assert_eq!(collapsed.links()[2], b.links()[2]);
+        let before = b.effective_rate_bps(BondPolicy::EarliestDelivery, 5e5);
+        let after = collapsed.effective_rate_bps(BondPolicy::EarliestDelivery, 5e5);
+        assert!(after < before, "collapse must degrade the bonded rate");
+        assert!(after > 0.0, "but never zero the camera");
+    }
+
+    #[test]
+    fn estimators_steer_the_scheduler_after_collapse() {
+        // Link 0 is 5× slower than link 1; once the per-frame
+        // observations converge the EDF striper must route the
+        // supermajority of bits onto the fast member.
+        let b = LinkBundle::new(vec![
+            BondedLink::new(LinkModel::constant(2e6), 0.020),
+            BondedLink::new(LinkModel::constant(10e6), 0.020),
+        ]);
+        let mut sim = b.simulator(HORIZON, BondPolicy::EarliestDelivery);
+        for k in 0..20 {
+            let _ = sim.frame_delivery(k * TICKS_PER_SEC, 5e5);
+        }
+        let share = sim.delivered_bits();
+        let total: f64 = share.iter().sum();
+        // The fast link should carry the supermajority once beliefs
+        // converge on the truth.
+        assert!(
+            share[1] / total > 0.75,
+            "fast-link share {}",
+            share[1] / total
+        );
+        let believed = sim.believed_rates_bps();
+        assert!((believed[0] - 2e6).abs() / 2e6 < 0.05);
+        assert!((believed[1] - 10e6).abs() / 10e6 < 0.05);
+    }
+}

@@ -1,0 +1,39 @@
+//! Bonded multipath uplinks for edge video analytics.
+//!
+//! Real edge cameras rarely ride one radio: deployments bond 2–6
+//! heterogeneous cellular/WiFi links (strata-style) and stripe each
+//! frame's packets across them. Done naïvely this *hurts* — the
+//! "multipath penalty": a slow high-RTT member head-of-line blocks the
+//! receiver's reorder buffer until bonded goodput falls below the best
+//! single link. Done well (HoL-aware earliest-delivery striping) the
+//! bundle beats every member.
+//!
+//! This crate supplies the three layers:
+//!
+//! * [`LinkBundle`] / [`BondedLink`] — the description: per-member
+//!   [`eva_net`] rate processes plus base RTTs, with analytic
+//!   *effective-rate* formulas per policy
+//!   ([`LinkBundle::effective_rate_bps`]) that the planner consumes as
+//!   the camera's Eq. 5 bandwidth belief,
+//! * [`BondScheduler`] — packet-striping policies ([`RoundRobin`],
+//!   [`RateWeighted`], [`EarliestDelivery`]) choosing a member per
+//!   packet from *believed* rates (per-link BBR-style estimators),
+//!   queue depths and RTTs,
+//! * [`BundleSim`] / [`ReorderBuffer`] — the materialization the DES
+//!   drives: true traces carry the packets, the reorder buffer charges
+//!   HoL blocking, and [`FrameDelivery`] reports the in-order frame
+//!   delivery time plus per-link accounting.
+//!
+//! A single-member zero-RTT bundle is bit-identical to the unbonded
+//! single-trace path (property-tested in `eva-sim`), so bundles are a
+//! strict generalization, not a fork.
+
+pub mod bundle;
+pub mod reorder;
+pub mod sched;
+
+pub use bundle::{BondedLink, BundleSim, FrameDelivery, LinkBundle, DEFAULT_PACKET_BITS};
+pub use reorder::{Release, ReorderBuffer};
+pub use sched::{
+    BondPolicy, BondScheduler, EarliestDelivery, LinkSnapshot, RateWeighted, RoundRobin,
+};

@@ -1,0 +1,96 @@
+//! Bundle-aware fault plumbing: a `ChaosSpec` link collapse hitting
+//! *one member* of a bonded uplink must degrade the bonded belief —
+//! not zero the camera — and the HoL-aware scheduler must shift load
+//! onto the surviving links.
+
+use eva_bond::{BondPolicy, BondedLink, LinkBundle};
+use eva_fault::{ChaosSpec, LinkCollapse};
+use eva_net::LinkModel;
+use eva_sched::TICKS_PER_SEC;
+
+const FRAME_BITS: f64 = 5e5;
+
+fn trio() -> LinkBundle {
+    LinkBundle::new(vec![
+        BondedLink::new(LinkModel::constant(12e6), 0.030),
+        BondedLink::new(LinkModel::constant(8e6), 0.080),
+        BondedLink::new(LinkModel::constant(5e6), 0.200),
+    ])
+}
+
+#[test]
+fn link_collapse_degrades_the_bonded_belief_instead_of_zeroing_it() {
+    let spec = ChaosSpec {
+        seed: 9,
+        link_collapse: Some(LinkCollapse {
+            factor: 0.2,
+            mean_normal_s: 40.0,
+            mean_collapsed_s: 20.0,
+        }),
+        ..ChaosSpec::none(9)
+    };
+    let windows = spec.link_windows(120.0);
+    assert!(!windows.is_empty(), "collapse spec produced no windows");
+    let factor = windows[0].factor;
+    assert_eq!(factor, 0.2);
+
+    let healthy = trio();
+    let degraded = healthy.scaled_link(0, factor); // fastest member collapses
+
+    let eff_healthy = healthy.effective_rate_bps(BondPolicy::EarliestDelivery, FRAME_BITS);
+    let eff_degraded = degraded.effective_rate_bps(BondPolicy::EarliestDelivery, FRAME_BITS);
+
+    // Collapsing one member degrades the bundle but never zeroes it:
+    // the belief stays above what the surviving links alone provide to
+    // a single-link camera, and well above zero.
+    assert!(
+        eff_degraded < eff_healthy,
+        "collapse must cost capacity: {eff_degraded} vs {eff_healthy}"
+    );
+    let best_survivor = degraded.best_single_rate_bps(FRAME_BITS);
+    assert!(
+        eff_degraded >= best_survivor,
+        "bonding must not lose to the best surviving link: \
+         {eff_degraded} vs {best_survivor}"
+    );
+    // The collapsed member still contributes its scaled capacity, so
+    // the degraded bundle keeps a sane fraction of the healthy rate.
+    assert!(eff_degraded > 0.5 * eff_healthy, "belief over-collapsed");
+}
+
+#[test]
+fn scheduler_shifts_share_onto_surviving_links() {
+    let spec = ChaosSpec {
+        seed: 21,
+        link_collapse: Some(LinkCollapse {
+            factor: 0.1,
+            mean_normal_s: 30.0,
+            mean_collapsed_s: 30.0,
+        }),
+        ..ChaosSpec::none(21)
+    };
+    let factor = spec
+        .link_windows(200.0)
+        .first()
+        .expect("collapse windows exist")
+        .factor;
+
+    let share_of_link0 = |bundle: &LinkBundle| -> f64 {
+        let mut sim = bundle.simulator(40 * TICKS_PER_SEC, BondPolicy::EarliestDelivery);
+        for k in 0..200u64 {
+            sim.frame_delivery(k * (TICKS_PER_SEC / 10), FRAME_BITS);
+        }
+        let bits = sim.delivered_bits();
+        bits[0] / bits.iter().sum::<f64>()
+    };
+
+    let healthy_share = share_of_link0(&trio());
+    let degraded_share = share_of_link0(&trio().scaled_link(0, factor));
+    assert!(
+        degraded_share < healthy_share,
+        "estimator-steered striping must shed load from the collapsed \
+         member: {degraded_share:.3} vs {healthy_share:.3}"
+    );
+    // The camera keeps flowing: the surviving links carry the rest.
+    assert!(degraded_share > 0.0 && degraded_share < 0.5);
+}

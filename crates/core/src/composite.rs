@@ -590,6 +590,72 @@ mod tests {
     }
 
     #[test]
+    fn bonded_planning_belief_drives_latency_prediction() {
+        use eva_workload::{BondPolicy, BondedLink, LinkBundle, LinkModel};
+
+        let (sc, bank, pref) = setup();
+        let normalizer = OutcomeNormalizer::for_scenario(&sc);
+        // The trio bundle stripes to ~10 Mbps effective — half the
+        // 20 Mbps provisioned rate the sampler would otherwise plan on.
+        let frame_bits = 5e5;
+        let trio = || {
+            LinkBundle::new(vec![
+                BondedLink::new(LinkModel::constant(12e6), 0.030),
+                BondedLink::new(LinkModel::constant(8e6), 0.080),
+                BondedLink::new(LinkModel::constant(5e6), 0.200),
+            ])
+        };
+        let eff = trio().effective_rate_bps(BondPolicy::EarliestDelivery, frame_bits);
+        let bonded = sc
+            .clone()
+            .with_link_bundles(vec![trio(); 3], BondPolicy::EarliestDelivery)
+            .with_bonded_planning(frame_bits, 1.0);
+        let explicit = sc.clone().with_planning_uplinks(vec![eff; 2], 1.0);
+
+        let x = encode_joint(&sc, &[VideoConfig::new(720.0, 10.0); 3]);
+
+        // Same belief, same prediction — bit-identically: the bonded
+        // scenario's planning path is exactly the explicit override.
+        let via_bond = CompositeSampler::new(
+            &bonded,
+            bank.clone(),
+            PreferenceEval::Oracle(pref.clone()),
+            normalizer.clone(),
+        )
+        .predict_outcome(&x)
+        .unwrap();
+        let via_override = CompositeSampler::new(
+            &explicit,
+            bank.clone(),
+            PreferenceEval::Oracle(pref.clone()),
+            normalizer.clone(),
+        )
+        .predict_outcome(&x)
+        .unwrap();
+        assert_eq!(
+            via_bond.latency_s.to_bits(),
+            via_override.latency_s.to_bits()
+        );
+
+        // And the halved belief must actually reach the latency GP:
+        // the bonded prediction differs from oracle-B planning (the GP
+        // is queried at uplink ≈ 10 Mbps instead of 20 Mbps).
+        let oracle = CompositeSampler::new(
+            &sc,
+            bank.clone(),
+            PreferenceEval::Oracle(pref.clone()),
+            normalizer.clone(),
+        )
+        .predict_outcome(&x)
+        .unwrap();
+        assert_ne!(
+            via_bond.latency_s.to_bits(),
+            oracle.latency_s.to_bits(),
+            "bonded belief never reached the latency prediction"
+        );
+    }
+
+    #[test]
     fn predicted_outcome_close_to_truth() {
         let (sc, bank, _) = setup();
         let normalizer = OutcomeNormalizer::for_scenario(&sc);

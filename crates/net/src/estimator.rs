@@ -16,9 +16,22 @@
 
 use std::collections::VecDeque;
 
-/// Delivery rate implied by one observation (bits/s).
+/// Delivery rate implied by one observation (bits/s). Degenerate
+/// observations (non-finite or non-positive) map to `0.0` rather than
+/// NaN/∞ so a corrupt sample can never poison downstream state.
 pub fn delivery_rate_bps(bytes: f64, duration_s: f64) -> f64 {
+    if !valid_observation(bytes, duration_s) {
+        return 0.0;
+    }
     bytes * 8.0 / duration_s
+}
+
+/// Whether a `(bytes, duration)` delivery sample is usable: both finite
+/// and strictly positive. NaN fails every `<=` comparison, so a plain
+/// `bytes <= 0.0` guard would let NaN through and corrupt an EWMA
+/// forever — hence the explicit `is_finite` checks.
+fn valid_observation(bytes: f64, duration_s: f64) -> bool {
+    bytes.is_finite() && duration_s.is_finite() && bytes > 0.0 && duration_s > 0.0
 }
 
 /// A bandwidth estimator fed per-frame delivery observations.
@@ -64,7 +77,7 @@ impl Default for EwmaEstimator {
 
 impl LinkEstimator for EwmaEstimator {
     fn observe(&mut self, bytes: f64, duration_s: f64) {
-        if bytes <= 0.0 || duration_s <= 0.0 {
+        if !valid_observation(bytes, duration_s) {
             return;
         }
         let sample = delivery_rate_bps(bytes, duration_s);
@@ -111,7 +124,7 @@ impl Default for MaxFilterEstimator {
 
 impl LinkEstimator for MaxFilterEstimator {
     fn observe(&mut self, bytes: f64, duration_s: f64) {
-        if bytes <= 0.0 || duration_s <= 0.0 {
+        if !valid_observation(bytes, duration_s) {
             return;
         }
         if self.samples.len() == self.window {
@@ -200,6 +213,38 @@ mod tests {
             est.observe(-5.0, 1.0);
             assert_eq!(est.estimate_bps(), None);
         }
+    }
+
+    #[test]
+    fn non_finite_observations_do_not_poison_state() {
+        // Regression: NaN fails both `<= 0.0` comparisons, so the old
+        // guard admitted it and `prev + alpha * (NaN - prev)` stayed
+        // NaN forever. Every non-finite combination must be a no-op.
+        let mut ewma = EwmaEstimator::default();
+        let mut maxf = MaxFilterEstimator::default();
+        for est in [&mut ewma as &mut dyn LinkEstimator, &mut maxf] {
+            feed(est, 100_000.0, 20e6);
+            for (bytes, dur) in [
+                (f64::NAN, 1.0),
+                (100.0, f64::NAN),
+                (f64::NAN, f64::NAN),
+                (f64::INFINITY, 1.0),
+                (100.0, f64::INFINITY),
+                (f64::NEG_INFINITY, 1.0),
+            ] {
+                est.observe(bytes, dur);
+            }
+            let got = est.estimate_bps().expect("estimate survives");
+            assert!(
+                got.is_finite() && (got - 20e6).abs() < 1e-6,
+                "estimate poisoned: {got}"
+            );
+        }
+        // And the rate helper itself never returns NaN/∞.
+        assert_eq!(delivery_rate_bps(f64::NAN, 1.0), 0.0);
+        assert_eq!(delivery_rate_bps(1.0, f64::NAN), 0.0);
+        assert_eq!(delivery_rate_bps(f64::INFINITY, 1.0), 0.0);
+        assert_eq!(delivery_rate_bps(1.0, 0.0), 0.0);
     }
 
     #[test]

@@ -152,6 +152,44 @@ impl LinkModel {
         }
     }
 
+    /// The same process with every rate multiplied by `factor` — the
+    /// hook `ChaosSpec`-style link collapse uses to degrade one member
+    /// of a bundle without touching its dwell structure or seed.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "LinkModel::scaled: factor must be finite and positive"
+        );
+        match self {
+            LinkModel::Constant { rate_bps } => LinkModel::Constant {
+                rate_bps: rate_bps * factor,
+            },
+            LinkModel::Markov { states, seed } => LinkModel::Markov {
+                states: states
+                    .iter()
+                    .map(|s| MarkovState {
+                        rate_bps: s.rate_bps * factor,
+                        mean_dwell_s: s.mean_dwell_s,
+                    })
+                    .collect(),
+                seed: *seed,
+            },
+            LinkModel::Sinusoid {
+                mean_bps,
+                amplitude_bps,
+                period_s,
+                noise_rel,
+                seed,
+            } => LinkModel::Sinusoid {
+                mean_bps: mean_bps * factor,
+                amplitude_bps: amplitude_bps * factor,
+                period_s: *period_s,
+                noise_rel: *noise_rel,
+                seed: *seed,
+            },
+        }
+    }
+
     /// Long-run mean rate of the process (bits/s) — what an oracle
     /// planner would use as `B`.
     pub fn nominal_bps(&self) -> f64 {
@@ -442,6 +480,24 @@ mod tests {
                 assert_eq!(t.rate_at(end - 1), rate);
             }
         }
+    }
+
+    #[test]
+    fn scaled_multiplies_rates_and_keeps_dwell_structure() {
+        let m = LinkModel::gilbert_elliott(25e6, 8e6, 3.0, 1.5, 42);
+        let half = m.scaled(0.5);
+        assert!((half.nominal_bps() - m.nominal_bps() * 0.5).abs() < 1.0);
+        // Same seed and dwells: segment boundaries are identical, only
+        // the rates scale.
+        let (a, b) = (m.trace(HORIZON), half.trace(HORIZON));
+        assert_eq!(a.n_segments(), b.n_segments());
+        for ((s0, e0, r0), (s1, e1, r1)) in a.segments().zip(b.segments()) {
+            assert_eq!((s0, e0), (s1, e1));
+            assert!((r1 - r0 * 0.5).abs() < 1e-6);
+        }
+        let s = LinkModel::sinusoid(20e6, 5e6, 30.0, 0.0, 7).scaled(2.0);
+        assert!((s.nominal_bps() - 40e6).abs() < 1.0);
+        assert!((LinkModel::constant(10e6).scaled(0.25).nominal_bps() - 2.5e6).abs() < 1e-9);
     }
 
     #[test]

@@ -45,11 +45,14 @@ pub enum Phase {
     /// Retry-queue load shedding (age expiry or high-water eviction)
     /// under overload.
     Shed,
+    /// Bonded-uplink packet striping: per-frame multipath scheduling
+    /// plus the receiver reorder-buffer model (inside `Des` seeding).
+    BondStripe,
 }
 
 impl Phase {
     /// All phases, in pipeline order (the order summaries print in).
-    pub const ALL: [Phase; 13] = [
+    pub const ALL: [Phase; 14] = [
         Phase::Epoch,
         Phase::Decide,
         Phase::OutcomeFit,
@@ -63,6 +66,7 @@ impl Phase {
         Phase::Admission,
         Phase::Replan,
         Phase::Shed,
+        Phase::BondStripe,
     ];
 
     /// Stable machine-readable name (used in exports and schemas).
@@ -81,6 +85,7 @@ impl Phase {
             Phase::Admission => "admission",
             Phase::Replan => "replan",
             Phase::Shed => "shed",
+            Phase::BondStripe => "bond_stripe",
         }
     }
 
@@ -100,6 +105,7 @@ impl Phase {
             Phase::Admission => 10,
             Phase::Replan => 11,
             Phase::Shed => 12,
+            Phase::BondStripe => 13,
         }
     }
 }

@@ -3,6 +3,7 @@
 
 use std::collections::VecDeque;
 
+use eva_bond::BundleSim;
 use eva_net::link::secs_to_ticks;
 use eva_net::LinkTrace;
 use eva_obs::{span, NoopRecorder, Phase, Recorder};
@@ -21,6 +22,18 @@ pub struct StreamLink {
     pub bits_per_frame: f64,
     /// The uplink's `B(t)` over the simulation horizon.
     pub trace: LinkTrace,
+}
+
+/// Per-stream uplink binding for the bonded-multipath engine: the frame
+/// size together with the stateful [`BundleSim`] the frame's packets
+/// are striped over. Mutable because striping feeds per-link
+/// estimators and accumulates delivery accounting frame over frame.
+#[derive(Debug, Clone)]
+pub struct StreamBundle {
+    /// Frame payload (bits).
+    pub bits_per_frame: f64,
+    /// The camera's materialized bonded uplink.
+    pub sim: BundleSim,
 }
 
 /// A periodic stream as the simulator sees it.
@@ -136,7 +149,7 @@ struct ServerState {
 /// immediately and self-schedule a `ServerDone`. FIFO order plus
 /// deterministic tie-breaking makes runs exactly replayable.
 pub fn simulate(streams: &[SimStream], n_servers: usize, cfg: &SimConfig) -> SimReport {
-    simulate_inner(streams, None, None, n_servers, cfg, &NoopRecorder)
+    simulate_inner(streams, None, None, None, n_servers, cfg, &NoopRecorder)
 }
 
 /// [`simulate`] with telemetry: the run executes under a [`Phase::Des`]
@@ -149,7 +162,7 @@ pub fn simulate_recorded(
     cfg: &SimConfig,
     rec: &dyn Recorder,
 ) -> SimReport {
-    simulate_inner(streams, None, None, n_servers, cfg, rec)
+    simulate_inner(streams, None, None, None, n_servers, cfg, rec)
 }
 
 /// Run the simulation with per-stream *time-varying* uplinks: frame
@@ -170,7 +183,54 @@ pub fn simulate_with_links(
         links.len(),
         "simulate_with_links: one link per stream"
     );
-    simulate_inner(streams, Some(links), None, n_servers, cfg, &NoopRecorder)
+    simulate_inner(
+        streams,
+        Some(links),
+        None,
+        None,
+        n_servers,
+        cfg,
+        &NoopRecorder,
+    )
+}
+
+/// Run the simulation with per-stream *bonded multipath* uplinks: frame
+/// `k` is striped packet-by-packet across its [`StreamBundle`]'s member
+/// links and arrives when the receiver's reorder buffer releases the
+/// last packet in order ([`BundleSim::frame_delivery`]). As with
+/// [`simulate_with_links`], `stream.trans` remains the *nominal*
+/// pipeline delay anchoring capture back-dating, and the arrival shifts
+/// by the realized-vs-nominal transmission difference.
+///
+/// A single-member zero-RTT bundle computes the *same* floating-point
+/// expression as [`simulate_with_links`] (`bits / B(capture)`), so the
+/// degenerate bundle is bit-identical to the single-trace path —
+/// property-tested in `tests/bond_identity.rs`.
+pub fn simulate_with_bundles(
+    streams: &[SimStream],
+    bundles: &mut [StreamBundle],
+    n_servers: usize,
+    cfg: &SimConfig,
+) -> SimReport {
+    simulate_with_bundles_recorded(streams, bundles, n_servers, cfg, &NoopRecorder)
+}
+
+/// [`simulate_with_bundles`] with telemetry: striping runs under a
+/// [`Phase::BondStripe`] span and emits `bond.*` frame/packet/HoL
+/// counters on `rec` in addition to the usual `des.*` set.
+pub fn simulate_with_bundles_recorded(
+    streams: &[SimStream],
+    bundles: &mut [StreamBundle],
+    n_servers: usize,
+    cfg: &SimConfig,
+    rec: &dyn Recorder,
+) -> SimReport {
+    assert_eq!(
+        streams.len(),
+        bundles.len(),
+        "simulate_with_bundles: one bundle per stream"
+    );
+    simulate_inner(streams, None, Some(bundles), None, n_servers, cfg, rec)
 }
 
 /// [`simulate_with_links`] with telemetry (see [`simulate_recorded`]).
@@ -186,7 +246,7 @@ pub fn simulate_with_links_recorded(
         links.len(),
         "simulate_with_links: one link per stream"
     );
-    simulate_inner(streams, Some(links), None, n_servers, cfg, rec)
+    simulate_inner(streams, Some(links), None, None, n_servers, cfg, rec)
 }
 
 /// Run the simulation under a materialized fault schedule: camera
@@ -227,7 +287,7 @@ pub fn simulate_faulted_recorded(
         );
     }
     if faults.is_inert() {
-        return simulate_inner(streams, links, None, n_servers, cfg, rec);
+        return simulate_inner(streams, links, None, None, n_servers, cfg, rec);
     }
     assert!(
         faults.server_up.len() >= n_servers && faults.server_slow.len() >= n_servers,
@@ -239,12 +299,14 @@ pub fn simulate_faulted_recorded(
             .all(|s| s.id.source < faults.camera_up.len() && s.id.source < faults.loss.len()),
         "simulate_faulted: missing camera fault traces"
     );
-    simulate_inner(streams, links, Some(faults), n_servers, cfg, rec)
+    simulate_inner(streams, links, None, Some(faults), n_servers, cfg, rec)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn simulate_inner(
     streams: &[SimStream],
     links: Option<&[StreamLink]>,
+    bundles: Option<&mut [StreamBundle]>,
     faults: Option<&SimFaults>,
     n_servers: usize,
     cfg: &SimConfig,
@@ -273,8 +335,51 @@ fn simulate_inner(
     // realized transmission time and the nominal one, while capture
     // stays anchored to the slot. Slow links can reorder arrivals of
     // consecutive frames' slots; the FIFO server queue absorbs that.
-    match faults {
-        None => {
+    match (faults, bundles) {
+        (None, Some(bundles)) => {
+            // Bonded path: stripe each frame across its bundle at
+            // capture time. Frames are seeded in capture order per
+            // stream, so the bundle's estimator/scheduler state evolves
+            // exactly as a live sender's would.
+            let _stripe_span = span(rec, Phase::BondStripe);
+            let mut bond_frames = 0u64;
+            let mut bond_packets = 0u64;
+            let mut bond_hol_s = 0.0f64;
+            let mut bond_depth = 0usize;
+            for (i, s) in streams.iter().enumerate() {
+                let b = &mut bundles[i];
+                let mut k: Ticks = 0;
+                loop {
+                    let slot = s.phase + k * s.period;
+                    if slot >= cfg.horizon {
+                        break;
+                    }
+                    let gen_time = slot.saturating_sub(s.trans);
+                    let fd = b.sim.frame_delivery(gen_time, b.bits_per_frame);
+                    let d = secs_to_ticks(fd.delay_s);
+                    let arrival = (slot + d).saturating_sub(s.trans);
+                    bond_frames += 1;
+                    bond_packets += fd.packets;
+                    bond_hol_s += fd.hol_wait_s;
+                    bond_depth = bond_depth.max(fd.max_reorder_depth);
+                    queue.push(
+                        arrival,
+                        Event::FrameArrival {
+                            stream: i,
+                            gen_time,
+                        },
+                    );
+                    k += 1;
+                }
+            }
+            if rec.enabled() {
+                rec.add("bond.frames", bond_frames);
+                rec.add("bond.packets", bond_packets);
+                rec.observe("bond.hol_wait_s", bond_hol_s);
+                rec.observe("bond.max_reorder_depth", bond_depth as f64);
+            }
+        }
+        (None, None) => {
             for (i, s) in streams.iter().enumerate() {
                 let mut k: Ticks = 0;
                 loop {
@@ -304,7 +409,14 @@ fn simulate_inner(
                 }
             }
         }
-        Some(f) => {
+        (Some(_), Some(_)) => {
+            // The fault planner reasons about single-trace retries;
+            // bundle-level faults are modeled at the belief layer
+            // (degrade one member via `LinkBundle::scaled_link`) rather
+            // than in the DES retry machinery.
+            panic!("simulate: faults and bundles cannot be combined (degrade a bundle member via LinkBundle::scaled_link instead)");
+        }
+        (Some(f), None) => {
             // Faulted path: frame fates (camera dropout, loss, retry,
             // deadline give-up) are planned up front, deterministically.
             for (i, s) in streams.iter().enumerate() {

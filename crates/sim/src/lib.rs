@@ -27,8 +27,10 @@ pub mod runner;
 pub mod tandem;
 
 pub use des::{
-    simulate, simulate_faulted, simulate_faulted_recorded, simulate_recorded, simulate_with_links,
-    simulate_with_links_recorded, SimConfig, SimReport, SimStream, StreamLink, StreamReport,
+    simulate, simulate_faulted, simulate_faulted_recorded, simulate_recorded,
+    simulate_with_bundles, simulate_with_bundles_recorded, simulate_with_links,
+    simulate_with_links_recorded, SimConfig, SimReport, SimStream, StreamBundle, StreamLink,
+    StreamReport,
 };
 pub use fault::{plan_stream_deliveries, service_end, PlannedFrame, SimFaults};
 pub use runner::{

@@ -7,8 +7,8 @@ use eva_sched::{Assignment, StreamTiming, Ticks, TICKS_PER_SEC};
 use eva_workload::{Scenario, VideoConfig};
 
 use crate::des::{
-    simulate_faulted_recorded, simulate_recorded, simulate_with_links_recorded, SimConfig,
-    SimReport, SimStream, StreamLink,
+    simulate_faulted_recorded, simulate_recorded, simulate_with_bundles_recorded,
+    simulate_with_links_recorded, SimConfig, SimReport, SimStream, StreamBundle, StreamLink,
 };
 use crate::fault::SimFaults;
 
@@ -244,6 +244,28 @@ fn simulate_scenario_inner(
             })
             .collect()
     });
+    // One bundle simulator per camera (split parts of one camera share
+    // its radios), materialized once and cloned per part so every part
+    // sees the same underlying link traces.
+    let mut bundles: Option<Vec<StreamBundle>> = scenario.link_bundles().map(|bs| {
+        let sims: Vec<_> = bs
+            .iter()
+            .map(|b| b.simulator(cfg.horizon, scenario.bond_policy()))
+            .collect();
+        assignment
+            .streams
+            .iter()
+            .map(|st| {
+                let src = st.id.source;
+                StreamBundle {
+                    bits_per_frame: scenario
+                        .surfaces(src)
+                        .bits_per_frame(configs[src].resolution),
+                    sim: sims[src].clone(),
+                }
+            })
+            .collect()
+    });
     let faults = if with_faults {
         scenario
             .fault_plan()
@@ -251,9 +273,20 @@ fn simulate_scenario_inner(
     } else {
         None
     };
+    assert!(
+        !(faults.is_some() && bundles.is_some()),
+        "simulate_scenario: faults and bonded uplinks cannot be combined — \
+         degrade a bundle member via LinkBundle::scaled_link instead"
+    );
     let report = match (faults, links) {
         (Some(f), links) => {
             simulate_faulted_recorded(&sim_streams, links.as_deref(), &f, n_servers, &cfg, rec)
+        }
+        (None, _) if bundles.is_some() => {
+            let Some(bundles) = bundles.as_mut() else {
+                unreachable!("guarded by is_some")
+            };
+            simulate_with_bundles_recorded(&sim_streams, bundles, n_servers, &cfg, rec)
         }
         (None, Some(links)) => {
             simulate_with_links_recorded(&sim_streams, &links, n_servers, &cfg, rec)

@@ -27,9 +27,10 @@ pub mod profiler;
 pub mod scenario;
 pub mod surfaces;
 
-pub use clip::{mot16_library, ClipProfile};
+pub use clip::{clip_set, mot16_library, ClipProfile};
 pub use config::{ConfigSpace, VideoConfig};
 pub use drift::DriftingScenario;
+pub use eva_bond::{BondPolicy, BondedLink, LinkBundle}; // appear in Scenario's builder API
 pub use eva_fault::FaultPlan; // appears in Scenario's builder API
 pub use eva_net::LinkModel; // appears in Scenario's builder API
 pub use hetero::{PhysicalServer, Virtualization};

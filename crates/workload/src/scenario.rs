@@ -5,6 +5,7 @@
 //! Algorithm-1 placement: the quantity the BO loop optimizes and the
 //! discrete-event simulator cross-checks.
 
+use eva_bond::{BondPolicy, LinkBundle};
 use eva_fault::FaultPlan;
 use eva_net::LinkModel;
 use eva_obs::{NoopRecorder, Recorder};
@@ -35,6 +36,12 @@ pub struct Scenario {
     /// the fixed per-server uplink; the analytic model and `uplink_bps`
     /// keep describing the provisioned (planning-time) bandwidth.
     links: Option<Vec<LinkModel>>,
+    /// Optional per-camera *bonded* multipath uplinks (mutually
+    /// exclusive with `links`): the DES stripes camera `i`'s frames
+    /// across `bundles[i]` under `bond_policy`.
+    bundles: Option<Vec<LinkBundle>>,
+    /// Packet-striping policy for attached bundles.
+    bond_policy: BondPolicy,
     /// Optional per-server *planning* bandwidths (already divided by
     /// the headroom factor): the `B̂` the schedulers believe in.
     /// `None` = plan on the true provisioned `uplink_bps` (oracle-B).
@@ -72,6 +79,8 @@ impl Scenario {
             uplink_bps,
             space,
             links: None,
+            bundles: None,
+            bond_policy: BondPolicy::default(),
             planning_bps: None,
             faults: None,
             assign_strategy: AssignStrategy::Auto,
@@ -102,8 +111,65 @@ impl Scenario {
             self.n_videos(),
             "Scenario::with_link_models: one model per camera"
         );
+        assert!(
+            self.bundles.is_none(),
+            "Scenario: attach link models or link bundles, not both"
+        );
         self.links = Some(models);
         self
+    }
+
+    /// Attach per-camera *bonded multipath* uplinks (one bundle per
+    /// camera), striped under `policy`. Simulation-level transmissions
+    /// then follow each bundle's packet-level delivery model; planning
+    /// still uses [`Scenario::planning_uplinks`] — call
+    /// [`Scenario::with_bonded_planning`] to derive that belief from
+    /// the bundles' effective rates.
+    pub fn with_link_bundles(mut self, bundles: Vec<LinkBundle>, policy: BondPolicy) -> Self {
+        assert_eq!(
+            bundles.len(),
+            self.n_videos(),
+            "Scenario::with_link_bundles: one bundle per camera"
+        );
+        assert!(
+            self.links.is_none(),
+            "Scenario: attach link models or link bundles, not both"
+        );
+        self.bundles = Some(bundles);
+        self.bond_policy = policy;
+        self
+    }
+
+    /// Derive the per-server planning belief from the attached bundles:
+    /// each camera's bonded effective rate under the configured policy
+    /// (for a reference frame of `frame_bits`), fleet-averaged and
+    /// divided by `headroom`. The fleet average reflects the uniform-
+    /// radio planning assumption: Eq. 5's bandwidth is per *server*,
+    /// while radios ride with cameras, so the planner believes the mean
+    /// bonded rate wherever it places a stream. Algorithm-1 placement,
+    /// JCAB, FACT and the BO composite sampler all consume the result
+    /// through [`Scenario::planning_uplinks`].
+    pub fn with_bonded_planning(self, frame_bits: f64, headroom: f64) -> Self {
+        let Some(bundles) = self.bundles.as_ref() else {
+            panic!("Scenario::with_bonded_planning: attach bundles first");
+        };
+        let mean_eff = bundles
+            .iter()
+            .map(|b| b.effective_rate_bps(self.bond_policy, frame_bits))
+            .sum::<f64>()
+            / bundles.len() as f64;
+        let n_servers = self.n_servers();
+        self.with_planning_uplinks(vec![mean_eff; n_servers], headroom)
+    }
+
+    /// Per-camera bonded uplinks, when attached.
+    pub fn link_bundles(&self) -> Option<&[LinkBundle]> {
+        self.bundles.as_deref()
+    }
+
+    /// The packet-striping policy for attached bundles.
+    pub fn bond_policy(&self) -> BondPolicy {
+        self.bond_policy
     }
 
     /// Plan against *estimated* per-server bandwidths: schedulers see
@@ -545,6 +611,43 @@ mod tests {
         assert_eq!(sc.uplinks(), &[20e6, 20e6]);
         let back = sc.clear_planning_uplinks();
         assert_eq!(back.planning_uplinks(), &[20e6, 20e6]);
+    }
+
+    #[test]
+    fn bonded_planning_derives_belief_from_bundle_effective_rates() {
+        use eva_bond::{BondPolicy, BondedLink, LinkBundle};
+
+        let trio = || {
+            LinkBundle::new(vec![
+                BondedLink::new(LinkModel::constant(12e6), 0.030),
+                BondedLink::new(LinkModel::constant(8e6), 0.080),
+                BondedLink::new(LinkModel::constant(5e6), 0.200),
+            ])
+        };
+        let frame_bits = 5e5;
+        let eff = trio().effective_rate_bps(BondPolicy::EarliestDelivery, frame_bits);
+        let sc = Scenario::uniform(4, 2, 20e6, 5)
+            .with_link_bundles(vec![trio(); 4], BondPolicy::EarliestDelivery)
+            .with_bonded_planning(frame_bits, 1.25);
+        assert_eq!(sc.bond_policy(), BondPolicy::EarliestDelivery);
+        assert_eq!(sc.link_bundles().map(<[LinkBundle]>::len), Some(4));
+        assert_eq!(sc.planning_uplinks(), &[eff / 1.25; 2]);
+        // True uplinks untouched; link models remain unset (bundles and
+        // single-trace models are mutually exclusive).
+        assert_eq!(sc.uplinks(), &[20e6, 20e6]);
+        assert!(sc.link_models().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not both")]
+    fn bundles_and_link_models_are_mutually_exclusive() {
+        use eva_bond::{BondPolicy, LinkBundle};
+        let _ = Scenario::uniform(2, 2, 20e6, 5)
+            .with_link_models(vec![LinkModel::constant(20e6); 2])
+            .with_link_bundles(
+                vec![LinkBundle::single(LinkModel::constant(20e6), 0.0); 2],
+                BondPolicy::EarliestDelivery,
+            );
     }
 
     #[test]
